@@ -1,0 +1,40 @@
+// Fig. 1: the tensor-dependency graph of CG intermediates across two loop
+// iterations — emitted as Graphviz DOT plus a per-tensor consumer summary so
+// the complex cross-iteration structure is inspectable without a renderer.
+#include "bench_util.hpp"
+#include "workloads/cg.hpp"
+
+int main() {
+  using namespace cello;
+  bench::print_header("CG tensor-dependency graph across two iterations", "Fig. 1");
+
+  workloads::CgShape shape;
+  shape.m = 1000000;
+  shape.n = 8;
+  shape.nnz = 9000000;
+  shape.iterations = 2;
+  const auto dag = workloads::build_cg_dag(shape);
+
+  std::cout << dag.to_dot() << "\n";
+
+  TextTable t({"tensor", "producer", "consumers", "crosses iterations"});
+  for (const auto& tensor : dag.tensors()) {
+    const auto consumers = dag.consumers(tensor.id);
+    if (consumers.empty()) continue;
+    std::string cons;
+    bool crosses = false;
+    const auto prod = dag.producer(tensor.id);
+    const std::string prod_name = prod ? dag.op(*prod).name : "(external)";
+    for (auto c : consumers) {
+      cons += dag.op(c).name + " ";
+      if (prod && dag.op(*prod).name.back() != dag.op(c).name.back()) crosses = true;
+    }
+    t.add_row({tensor.name, prod_name, cons, crosses ? "yes" : "no"});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nPaper context: the DAG's transitive and cross-iteration edges (P feeds\n"
+               "four ops of the next iteration; X and R feed their own line next time\n"
+               "around) are exactly what simple producer/consumer pipelining cannot\n"
+               "serve, motivating SCORE + CHORD.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 11: toy three-step trace contrasting CHORD's operand-level policies
+// with LRU and BRRIP line-level replacement on an 8-line buffer.
+#include "bench_util.hpp"
+#include "cache/cache.hpp"
+#include "chord/chord.hpp"
+
+namespace {
+
+using namespace cello;
+
+constexpr Bytes kLine = 16;
+// The figure's buffer holds half a tensor (4 slots of 2 elements vs
+// 8-element tensors), which is what exposes the line-level pathologies.
+constexpr Bytes kCap = 4 * kLine;
+
+chord::TensorMeta tensor_meta(i32 id, Addr start, Bytes bytes, i32 uses, i64 dist) {
+  chord::TensorMeta m;
+  m.id = id;
+  m.name = "T" + std::to_string(id + 1);
+  m.start_addr = start;
+  m.bytes = bytes;
+  m.remaining_uses = uses;
+  m.next_use_distance = dist;
+  return m;
+}
+
+std::string cache_lines_held(const cache::SetAssocCache& c, Addr start, Bytes bytes,
+                             const std::string& label) {
+  u64 held = 0;
+  for (Addr a = start; a < start + bytes; a += kLine)
+    if (c.contains(a)) ++held;
+  return label + ":" + std::to_string(held) + "/" + std::to_string(bytes / kLine);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cello;
+  bench::print_header("Toy trace: operand-level CHORD vs line-level LRU/BRRIP", "Fig. 11");
+
+  // Four tensors of 8 lines each (T1..T4); the buffer holds 8 lines total.
+  const Addr t1 = 0x0, t2 = 0x1000, t3 = 0x2000, t4 = 0x3000;
+  const Bytes sz = 8 * kLine;
+
+  cache::SetAssocCache lru(kCap, kLine, 4, cache::Policy::Lru);
+  cache::SetAssocCache brrip(kCap, kLine, 4, cache::Policy::Brrip);
+  chord::ChordBuffer chord_buf(kCap, kLine, /*riff=*/true);
+
+  auto stream = [&](cache::SetAssocCache& c, Addr start, bool write) {
+    c.access_range(start, sz, write);
+  };
+
+  TextTable t({"step", "action", "LRU holds", "BRRIP holds", "CHORD resident"});
+
+  // Step 1: write T1 (T1 will be re-referenced from its head later).
+  stream(lru, t1, true);
+  stream(brrip, t1, true);
+  chord_buf.write_tensor(tensor_meta(0, t1, sz, /*uses=*/2, /*dist=*/1));
+  t.add_row({"1", "write T1", cache_lines_held(lru, t1, sz, "T1"),
+             cache_lines_held(brrip, t1, sz, "T1"),
+             "T1:" + std::to_string(chord_buf.resident_bytes(0) / kLine) + "/8"});
+
+  // Step 2: T3 = T1 . T2 (T2 streams from the RF): read T1, write T3.
+  // T3 is needed sooner than T1's next use -> RIFF overwrites T1.
+  stream(lru, t1, false);
+  stream(lru, t3, true);
+  stream(brrip, t1, false);
+  stream(brrip, t3, true);
+  chord_buf.read_tensor(tensor_meta(0, t1, sz, /*uses=*/1, /*dist=*/5));
+  chord_buf.write_tensor(tensor_meta(2, t3, sz, /*uses=*/2, /*dist=*/1));
+  t.add_row({"2", "read T1, write T3",
+             cache_lines_held(lru, t1, sz, "T1") + " " + cache_lines_held(lru, t3, sz, "T3"),
+             cache_lines_held(brrip, t1, sz, "T1") + " " +
+                 cache_lines_held(brrip, t3, sz, "T3"),
+             "T1:" + std::to_string(chord_buf.resident_bytes(0) / kLine) + "/8 T3:" +
+                 std::to_string(chord_buf.resident_bytes(2) / kLine) + "/8"});
+
+  // Step 3: T5 = T3 . T4 (T4 in RF, T5 pipelined): read T3 again.
+  u64 lru_miss0 = lru.stats().misses, brrip_miss0 = brrip.stats().misses;
+  const Bytes chord_dram0 = chord_buf.stats().dram_bytes();
+  stream(lru, t3, false);
+  stream(brrip, t3, false);
+  const auto r = chord_buf.read_tensor(tensor_meta(2, t3, sz, /*uses=*/1, /*dist=*/1));
+  t.add_row({"3", "read T3 (the payoff)",
+             std::to_string(lru.stats().misses - lru_miss0) + " misses",
+             std::to_string(brrip.stats().misses - brrip_miss0) + " misses",
+             std::to_string((chord_buf.stats().dram_bytes() - chord_dram0) / kLine) +
+                 " lines from DRAM"});
+  std::cout << t.to_string();
+  (void)t4;
+  (void)r;
+
+  std::cout << "\nPaper story: LRU keeps the *tail* of whatever streamed last, so the\n"
+               "head of the next-needed tensor always misses; BRRIP resists the scan but\n"
+               "still holds stale T1 lines; CHORD keeps whole-operand prefixes ordered by\n"
+               "DAG reuse (RIFF evicted T1 for the sooner-needed T3): step 3 hits on the\nresident head and re-reads only the unplaced tail.\n";
+  return 0;
+}

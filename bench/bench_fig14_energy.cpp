@@ -1,0 +1,77 @@
+// Fig. 14: off-chip energy of every configuration relative to the explicit
+// best-intra baseline, geomeaned per workload class (lower is better).
+#include <map>
+
+#include "bench_util.hpp"
+#include "workloads/bicgstab.hpp"
+#include "workloads/gnn.hpp"
+
+int main() {
+  using namespace cello;
+  bench::print_header("Relative off-chip energy per workload (geomean)", "Fig. 14");
+
+  const auto arch = bench::table5_config();
+  // workload class -> config -> list of relative energies across datasets.
+  std::map<std::string, std::map<std::string, std::vector<double>>> rel;
+
+  auto record = [&](const std::string& klass, const ir::TensorDag& dag,
+                    const sparse::CsrMatrix* matrix) {
+    double base = 0;
+    for (auto kind : all_configs()) {
+      const auto m = run(dag, kind, arch, matrix);
+      if (kind == sim::ConfigKind::Flexagon) base = m.offchip_energy_pj;
+      rel[klass][sim::to_string(kind)].push_back(m.offchip_energy_pj / base);
+    }
+  };
+
+  for (const char* name : {"fv1", "shallow_water1", "G2_circuit"}) {
+    const auto& spec = sparse::dataset_by_name(name);
+    const auto matrix = sparse::instantiate(spec);
+    for (i64 n : {1, 16}) {
+      auto shape = bench::cg_shape_for(spec, n);
+      shape.nnz = matrix.nnz();
+      record("PDE solvers (CG)", workloads::build_cg_dag(shape), &matrix);
+    }
+  }
+  for (const char* name : {"fv1", "shallow_water1", "nasa4704"}) {
+    const auto& spec = sparse::dataset_by_name(name);
+    const auto matrix = sparse::instantiate(spec);
+    workloads::BiCgStabShape b;
+    b.m = spec.rows;
+    b.nnz = matrix.nnz();
+    b.iterations = 10;
+    record("PDE solvers (BiCGStab)", workloads::build_bicgstab_dag(b), &matrix);
+  }
+  for (const char* name : {"cora", "protein"}) {
+    const auto& spec = sparse::dataset_by_name(name);
+    const auto matrix = sparse::instantiate(spec);
+    workloads::GnnShape g;
+    g.vertices = spec.rows;
+    g.nnz = matrix.nnz();
+    g.in_features = spec.gnn_in_features;
+    g.out_features = spec.gnn_out_features;
+    record("GNN", workloads::build_gnn_dag(g), &matrix);
+  }
+
+  std::vector<std::string> header = {"workload"};
+  for (auto kind : all_configs()) header.push_back(sim::to_string(kind));
+  TextTable t(header);
+  std::vector<double> cello_rel;
+  for (const auto& [klass, per_config] : rel) {
+    std::vector<std::string> row = {klass};
+    for (auto kind : all_configs()) {
+      const auto& xs = per_config.at(sim::to_string(kind));
+      const double g = geomean(xs);
+      if (kind == sim::ConfigKind::Cello)
+        cello_rel.insert(cello_rel.end(), xs.begin(), xs.end());
+      row.push_back(format_double(g, 3));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_string();
+  const double overall = geomean(cello_rel);
+  std::cout << "\nCello overall off-chip energy vs Flexagon: " << format_double(overall, 3)
+            << " (" << format_double(100 * (1 - overall), 1)
+            << "% reduction; paper reports 64-83% per workload, 4x geomean)\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 16(b): Cello sensitivity to CHORD capacity {1, 4, 16} MiB on CG
+// shallow_water1 at N in {1, 16}.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace cello;
+  bench::print_header("Cello sensitivity to CHORD (SRAM) capacity", "Fig. 16(b)");
+
+  const auto& spec = sparse::dataset_by_name("shallow_water1");
+  const auto matrix = sparse::instantiate(spec);
+
+  for (i64 n : {1, 16}) {
+    auto shape = bench::cg_shape_for(spec, n);
+    shape.nnz = matrix.nnz();
+    const auto dag = workloads::build_cg_dag(shape);
+
+    std::cout << "dataset=shallow_water1  N=" << n << "\n";
+    TextTable t({"CHORD size", "GMACs/s", "DRAM traffic", "vs 4 MiB"});
+    double base_traffic = 0;
+    for (Bytes mib : {1ull, 4ull, 16ull}) {
+      const auto arch = bench::table5_config(1e12, mib * 1024 * 1024);
+      const auto m = run(dag, sim::ConfigKind::Cello, arch, &matrix);
+      if (mib == 4) base_traffic = static_cast<double>(m.dram_bytes);
+      t.add_row({std::to_string(mib) + " MiB", format_double(m.gmacs_per_sec(), 1),
+                 format_bytes(static_cast<double>(m.dram_bytes)),
+                 base_traffic > 0
+                     ? format_double(static_cast<double>(m.dram_bytes) / base_traffic, 2)
+                     : "-"});
+    }
+    std::cout << t.to_string() << "\n";
+  }
+  std::cout << "Expected shape: at N=16 the working set exceeds small CHORDs, so traffic\n"
+               "falls steadily with capacity; at N=1 the 4 MiB and 16 MiB points are both\n"
+               "'sufficiently large' and coincide (paper Sec. VII-C2).\n";
+  return 0;
+}

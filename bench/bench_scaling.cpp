@@ -1,0 +1,37 @@
+// Multi-node scaling of Cello on CG (Sec. V-B system-level consequence):
+// cluster-local pipelines with small-tensor reduction/broadcast scale nearly
+// linearly; shipping skewed intermediates across the NoC would not.
+#include "bench_util.hpp"
+#include "sim/multinode.hpp"
+
+int main() {
+  using namespace cello;
+  bench::print_header("Multi-node scaling of Cello on CG", "Sec. V-B scalable dataflow");
+
+  const auto& spec = sparse::dataset_by_name("G2_circuit");
+  const auto arch = bench::table5_config();
+
+  auto shard_builder = [&](i64 nodes) {
+    workloads::CgShape s = bench::cg_shape_for(spec, 16);
+    s.m = std::max<i64>(64, s.m / nodes);      // dominant rank partitioned
+    s.nnz = std::max<i64>(s.m, s.nnz / nodes); // row-sharded sparse matrix
+    return workloads::build_cg_dag(s);
+  };
+
+  TextTable t({"nodes", "per-node time", "NoC bytes (SCORE)", "NoC bytes (naive)",
+               "total GMACs/s", "parallel efficiency"});
+  for (i64 nodes : {1, 2, 4, 8, 16, 32}) {
+    const auto mm = sim::simulate_multinode(shard_builder, sim::ConfigKind::Cello, arch, nodes);
+    t.add_row({std::to_string(nodes), format_double(mm.per_node.seconds * 1e6, 1) + " us",
+               format_bytes(static_cast<double>(mm.noc_bytes)),
+               format_bytes(static_cast<double>(mm.naive_noc_bytes)),
+               format_double(mm.total_gmacs_per_sec, 1),
+               format_double(100 * mm.parallel_efficiency, 1) + "%"});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nSCORE's NoC traffic is the small Greek tensors times tree hops; the\n"
+               "naive pipeline-splitting strategy would move every skewed intermediate\n"
+               "(orders of magnitude more bytes), which is why the schedule keeps\n"
+               "pipelines inside a node and partitions the dominant rank (Fig. 8).\n";
+  return 0;
+}

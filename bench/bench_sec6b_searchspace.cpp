@@ -1,0 +1,64 @@
+// Sec. VI-B: size of the buffer-allocation search space — explicit scratchpad
+// over a DAG vs. op-by-op vs. CHORD's DAG-level policy decisions.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "score/search_space.hpp"
+#include "workloads/cg.hpp"
+
+int main() {
+  using namespace cello;
+  bench::print_header("Buffer-allocation search-space size", "Sec. VI-B");
+
+  // The paper's running example: a 4 MiB buffer of 32-bit words shared by
+  // five contending tensors (P, R, S, X, A slices of a CG iteration).
+  const i64 buffer_words = 4 * 1024 * 1024 / 4;  // 2^20
+  score::SearchSpaceModel m{buffer_words, 5};
+  const std::vector<i64> tensor_words(5, 1 << 20);
+  const std::vector<i64> slice_words(5, 1 << 18);
+
+  const double step1 = m.log10_slice_allocation();
+  const double step2_free = m.log10_line_arrangements();
+  const double step2_blocks = m.log10_block_arrangements();
+  const double step3_free = m.log10_element_choices(tensor_words, slice_words);
+  const double step3_contig = m.log10_contiguous_choices(tensor_words, slice_words);
+  const double static_plan = step1 + step2_blocks + step3_contig;
+  const double with_time = m.log10_time_varying(static_plan, 2);
+  const double op_by_op = score::SearchSpaceModel::log10_op_by_op(buffer_words, 7);
+
+  workloads::CgShape shape;
+  shape.m = 1000000;
+  shape.n = 16;
+  shape.nnz = 9000000;
+  shape.iterations = 10;
+  const auto dag = workloads::build_cg_dag(shape);
+  const double chord = score::SearchSpaceModel::chord_choices(
+      static_cast<i64>(dag.ops().size()), static_cast<i64>(dag.edges().size()));
+
+  TextTable t({"allocation strategy", "choices (log10)", "choices"});
+  t.add_row({"(1) slice sizes across 5 tensors, C(size+4,4)", format_double(step1, 1),
+             format_sci(step1)});
+  t.add_row({"(2a) arranging individual lines, size!", format_double(step2_free, 0), "~"});
+  t.add_row({"(2b) arranging contiguous blocks, T!", format_double(step2_blocks, 1),
+             format_sci(step2_blocks)});
+  t.add_row({"(3a) free slice-element choice, prod C(Ti,slice)", format_double(step3_free, 1),
+             format_sci(step3_free)});
+  t.add_row({"(3b) contiguous slices, prod (Ti-slice+1)", format_double(step3_contig, 1),
+             format_sci(step3_contig)});
+  t.add_row({"static DAG-level plan (1)+(2b)+(3b)", format_double(static_plan, 1),
+             format_sci(static_plan)});
+  t.add_row({"(4) time-varying plan, 2 allocation epochs", format_double(with_time, 1),
+             format_sci(with_time)});
+  t.add_row({"op-by-op baseline (7-op DAG)", format_double(op_by_op, 1),
+             format_sci(op_by_op)});
+  t.add_row({"CHORD: RIFF decisions, O(nodes+edges)", format_double(std::log10(chord), 1),
+             format_double(chord, 0)});
+  std::cout << t.to_string();
+
+  std::cout << "\nPaper headline: ~1e15 op-by-op, ~1e80 with DAG-level reuse, ~1e2 for\n"
+               "CHORD.  Our factor decomposition lands the op-by-op baseline at ~1e15,\n"
+               "the time-varying DAG-level plan beyond 1e80, and CHORD at ~1e2 — and the\n"
+               "scratchpad plan must be re-derived for EVERY new problem shape, while\n"
+               "CHORD only consumes DAG metadata the scheduler already has.\n";
+  return 0;
+}

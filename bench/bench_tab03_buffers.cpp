@@ -1,0 +1,52 @@
+// Table III: buffer-mechanism property matrix plus measured evidence from the
+// implemented models (metadata footprint, per-access energy structure).
+#include "bench_util.hpp"
+#include "chord/chord.hpp"
+#include "mem/sram_model.hpp"
+
+int main() {
+  using namespace cello;
+  bench::print_header("On-chip buffer mechanism comparison", "Table III");
+
+  TextTable t({"mechanism", "exposure", "placement granularity", "online policy",
+               "HW overhead", "SW burden"});
+  t.add_row({"Cache (LRU/BRRIP)", "implicit", "line", "yes", "highest", "lowest"});
+  t.add_row({"Scratchpad", "explicit", "line", "no", "lowest", "highest"});
+  t.add_row({"Buffets", "explicit", "tile (credit)", "no", "low", "high"});
+  t.add_row({"Tailors", "hybrid", "tile+word", "yes", "low", "high"});
+  t.add_row({"CHORD (this work)", "hybrid (coarse explicit, cycle implicit)", "object",
+             "yes", "low", "low"});
+  std::cout << t.to_string();
+
+  // Quantify the metadata claims with the implemented models.
+  const mem::SramModel sram({4ull * 1024 * 1024, 16, 8});
+  const auto cache_area = sram.area(mem::BufferKind::Cache);
+  const double riff_table_bits = 64.0 * 512.0;
+  const double cache_tag_bits =
+      (4.0 * 1024 * 1024 / 16) * (28 + 2 + 1 + 1);  // tag + rrpv + valid + dirty per line
+
+  std::cout << "\nMetadata footprint at 4 MiB:\n";
+  std::cout << "  cache tag/state array : " << format_double(cache_tag_bits / 8 / 1024, 1)
+            << " KiB (" << format_double(cache_area.tag_mm2, 2) << " mm^2)\n";
+  std::cout << "  CHORD RIFF-index table: " << format_double(riff_table_bits / 8 / 1024, 1)
+            << " KiB (64 entries x 512 b) -> " << format_double(riff_table_bits / cache_tag_bits, 4)
+            << "x of the cache tag bits\n";
+
+  // Per-event metadata work: CHORD touches one table entry; a cache touches
+  // `assoc` tags per lookup and updates recency on every hit.
+  chord::ChordBuffer buf(4096, 16, true);
+  chord::TensorMeta m;
+  m.id = 0;
+  m.name = "T";
+  m.start_addr = 0x1000;
+  m.bytes = 2048;
+  m.remaining_uses = 3;
+  m.next_use_distance = 1;
+  buf.write_tensor(m);
+  buf.read_tensor(m);
+  std::cout << "\nCHORD metadata events for one tensor write+read: reads="
+            << buf.stats().metadata_reads << " updates=" << buf.stats().metadata_updates
+            << " (a cache would perform " << 2048 / 16 * 2
+            << " per-line tag lookups for the same traffic)\n";
+  return 0;
+}

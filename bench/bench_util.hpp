@@ -1,0 +1,39 @@
+// Shared helpers for the per-figure bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cello/cello.hpp"
+#include "common/format.hpp"
+#include "common/stats.hpp"
+#include "sparse/datasets.hpp"
+
+namespace cello::bench {
+
+inline sim::AcceleratorConfig table5_config(double bandwidth_bytes_per_sec = 1e12,
+                                            Bytes sram = 4ull * 1024 * 1024) {
+  sim::AcceleratorConfig arch;
+  arch.sram_bytes = sram;
+  arch.dram_bytes_per_sec = bandwidth_bytes_per_sec;
+  return arch;
+}
+
+/// CG workload for a Table VI dataset at block width n.
+inline workloads::CgShape cg_shape_for(const sparse::DatasetSpec& spec, i64 n,
+                                       i64 iterations = 10) {
+  workloads::CgShape s;
+  s.m = spec.rows;
+  s.n = n;
+  s.nnz = spec.nnz;
+  s.iterations = iterations;
+  return s;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(reproduces " << paper_ref << ")\n\n";
+}
+
+}  // namespace cello::bench

@@ -1,0 +1,151 @@
+// cello_cli — drive the full pipeline from the command line, optionally on a
+// real Matrix Market file.
+//
+// Usage:
+//   ./example_cello_cli simulate  [--workload cg|bicgstab|gnn|resnet|power]
+//                                 [--dataset <table6 name> | --mtx <file.mtx>]
+//                                 [--n <rhs>] [--iters <k>] [--bw <GB/s>]
+//                                 [--sram <MiB>] [--config <name>|all]
+//   ./example_cello_cli classify  [--workload ...] [--dataset ...]
+//   ./example_cello_cli report    [--workload ...] [--dataset ...]   (per-op breakdown)
+//   ./example_cello_cli datasets
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "cello/cello.hpp"
+#include "common/format.hpp"
+#include "score/dependency.hpp"
+#include "sim/report.hpp"
+#include "sparse/datasets.hpp"
+#include "sparse/matrix_market.hpp"
+#include "workloads/poweriter.hpp"
+
+namespace {
+
+using namespace cello;
+
+struct Options {
+  std::string command = "simulate";
+  std::string workload = "cg";
+  std::string dataset = "shallow_water1";
+  std::string mtx;
+  std::string config = "all";
+  i64 n = 16;
+  i64 iters = 10;
+  double bw_gbps = 1000;
+  Bytes sram_mib = 4;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  if (argc > 1 && argv[1][0] != '-') o.command = argv[1];
+  for (int i = 2; i + 1 < argc + 1; ++i) {
+    auto next = [&](const char* flag) -> std::optional<std::string> {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return std::string(argv[++i]);
+      return std::nullopt;
+    };
+    if (auto v = next("--workload")) o.workload = *v;
+    else if (auto v2 = next("--dataset")) o.dataset = *v2;
+    else if (auto v3 = next("--mtx")) o.mtx = *v3;
+    else if (auto v4 = next("--n")) o.n = std::stoll(*v4);
+    else if (auto v5 = next("--iters")) o.iters = std::stoll(*v5);
+    else if (auto v6 = next("--bw")) o.bw_gbps = std::stod(*v6);
+    else if (auto v7 = next("--sram")) o.sram_mib = static_cast<Bytes>(std::stoull(*v7));
+    else if (auto v8 = next("--config")) o.config = *v8;
+  }
+  return o;
+}
+
+std::optional<sim::ConfigKind> config_by_name(const std::string& name) {
+  for (auto k : all_configs())
+    if (name == sim::to_string(k)) return k;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  if (o.command == "datasets") {
+    TextTable t({"name", "workload", "rows", "nnz", "GNN N", "GNN O"});
+    for (const auto& d : sparse::table6_datasets())
+      t.add_row({d.name, d.workload, std::to_string(d.rows), std::to_string(d.nnz),
+                 std::to_string(d.gnn_in_features), std::to_string(d.gnn_out_features)});
+    std::cout << t.to_string();
+    return 0;
+  }
+
+  // Resolve the matrix: explicit .mtx beats the synthetic dataset.
+  sparse::CsrMatrix matrix;
+  std::string source;
+  if (!o.mtx.empty()) {
+    matrix = sparse::read_matrix_market_file(o.mtx);
+    source = o.mtx;
+  } else {
+    matrix = sparse::instantiate(sparse::dataset_by_name(o.dataset));
+    source = o.dataset + " (synthetic)";
+  }
+  std::cout << "matrix: " << source << "  M=" << matrix.rows() << "  nnz=" << matrix.nnz()
+            << "\n";
+
+  // Build the requested workload DAG.
+  ir::TensorDag dag;
+  if (o.workload == "cg") {
+    dag = workloads::build_cg_dag({matrix.rows(), o.n, matrix.nnz(), o.iters, 4});
+  } else if (o.workload == "bicgstab") {
+    dag = workloads::build_bicgstab_dag({matrix.rows(), matrix.nnz(), 1, o.iters, 4});
+  } else if (o.workload == "gnn") {
+    const auto& spec = sparse::dataset_by_name(o.dataset);
+    dag = workloads::build_gnn_dag({matrix.rows(), matrix.nnz(),
+                                    spec.gnn_in_features ? spec.gnn_in_features : 64,
+                                    spec.gnn_out_features ? spec.gnn_out_features : 16, 4});
+  } else if (o.workload == "resnet") {
+    dag = workloads::build_resnet_block_dag({});
+  } else if (o.workload == "power") {
+    dag = workloads::build_power_iteration_dag({matrix.rows(), matrix.nnz(), o.iters, 4});
+  } else {
+    std::cerr << "unknown workload: " << o.workload << "\n";
+    return 1;
+  }
+  std::cout << "workload: " << o.workload << "  (" << dag.ops().size() << " ops, "
+            << dag.edges().size() << " edges)\n\n";
+
+  sim::AcceleratorConfig arch;
+  arch.dram_bytes_per_sec = o.bw_gbps * 1e9;
+  arch.sram_bytes = o.sram_mib * 1024 * 1024;
+
+  if (o.command == "classify") {
+    const auto cls = score::classify_scheduled(dag, dag.topo_order());
+    TextTable t({"edge", "tensor", "dependency"});
+    for (const auto& e : dag.edges())
+      t.add_row({dag.op(e.src).name + " -> " + dag.op(e.dst).name,
+                 dag.tensor(e.tensor).name, score::to_string(cls.edge_kind[e.id])});
+    std::cout << t.to_string();
+    return 0;
+  }
+  if (o.command == "report") {
+    const auto m = run(dag, sim::ConfigKind::Cello, arch, &matrix);
+    std::cout << "Cello per-op breakdown:\n" << sim::per_op_report(m, arch) << "\n";
+    std::cout << "Traffic by tensor:\n" << sim::per_tensor_report(m);
+    return 0;
+  }
+  if (o.command == "simulate") {
+    if (o.config == "all") {
+      std::cout << compare_table(dag, arch, &matrix);
+    } else if (auto k = config_by_name(o.config)) {
+      const auto m = run(dag, *k, arch, &matrix);
+      std::cout << sim::to_string(*k) << ": " << format_double(m.gmacs_per_sec(), 1)
+                << " GMACs/s, " << format_bytes(static_cast<double>(m.dram_bytes))
+                << " DRAM, " << format_double(m.seconds * 1e6, 1) << " us\n";
+    } else {
+      std::cerr << "unknown config: " << o.config << " (use 'all' or a Table IV name)\n";
+      return 1;
+    }
+    return 0;
+  }
+  std::cerr << "unknown command: " << o.command << "\n";
+  return 1;
+}

@@ -1,0 +1,117 @@
+#include "cache/cache.hpp"
+
+#include "common/error.hpp"
+
+namespace cello::cache {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::Lru: return "LRU";
+    case Policy::Brrip: return "BRRIP";
+  }
+  return "?";
+}
+
+SetAssocCache::SetAssocCache(Bytes capacity, u32 line_bytes, u32 associativity, Policy policy)
+    : capacity_(capacity), line_bytes_(line_bytes), assoc_(associativity), policy_(policy) {
+  CELLO_CHECK(line_bytes_ > 0 && assoc_ > 0);
+  const u64 lines = capacity_ / line_bytes_;
+  CELLO_CHECK_MSG(lines % assoc_ == 0, "capacity not divisible into sets");
+  sets_ = lines / assoc_;
+  CELLO_CHECK(sets_ > 0);
+  ways_.resize(sets_ * assoc_);
+}
+
+size_t SetAssocCache::victim_in_set(u64 set) {
+  Way* base = &ways_[set * assoc_];
+  // Invalid way first.
+  for (u32 w = 0; w < assoc_; ++w)
+    if (!base[w].valid) return w;
+
+  if (policy_ == Policy::Lru) {
+    size_t victim = 0;
+    for (u32 w = 1; w < assoc_; ++w)
+      if (base[w].lru_stamp < base[victim].lru_stamp) victim = w;
+    return victim;
+  }
+  // BRRIP: evict the first way predicted "distant" (RRPV==3); if none, age
+  // the whole set and rescan — guaranteed to terminate within 3 rounds.
+  for (;;) {
+    for (u32 w = 0; w < assoc_; ++w)
+      if (base[w].rrpv == 3) return w;
+    for (u32 w = 0; w < assoc_; ++w) ++base[w].rrpv;
+  }
+}
+
+void SetAssocCache::access(Addr addr, bool is_write) {
+  ++stats_.accesses;
+  ++stats_.tag_lookups;
+  ++stats_.data_accesses;
+  ++clock_;
+
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  Way* base = &ways_[set * assoc_];
+
+  for (u32 w = 0; w < assoc_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      ++stats_.hits;
+      base[w].lru_stamp = clock_;
+      base[w].rrpv = 0;  // near-immediate re-reference on hit
+      base[w].dirty = base[w].dirty || is_write;
+      return;
+    }
+  }
+
+  // Miss: allocate (write-allocate for stores too).
+  ++stats_.misses;
+  stats_.dram_read_bytes += line_bytes_;
+  const size_t v = victim_in_set(set);
+  Way& way = base[v];
+  if (way.valid) {
+    ++stats_.evictions;
+    if (way.dirty) {
+      ++stats_.writebacks;
+      stats_.dram_write_bytes += line_bytes_;
+    }
+  }
+  way.valid = true;
+  way.tag = tag;
+  way.dirty = is_write;
+  way.lru_stamp = clock_;
+  if (policy_ == Policy::Brrip) {
+    // Bimodal insertion: distant (3) most of the time, long (2) every 32nd
+    // fill — deterministic counter in place of the paper's epsilon dice.
+    way.rrpv = (++brrip_insert_counter_ % 32 == 0) ? 2 : 3;
+  } else {
+    way.rrpv = 2;
+  }
+}
+
+void SetAssocCache::access_range(Addr addr, Bytes len, bool is_write) {
+  if (len == 0) return;
+  const Addr first = addr / line_bytes_;
+  const Addr last = (addr + len - 1) / line_bytes_;
+  for (Addr line = first; line <= last; ++line) access(line * line_bytes_, is_write);
+}
+
+void SetAssocCache::flush() {
+  for (auto& w : ways_) {
+    if (w.valid && w.dirty) {
+      ++stats_.writebacks;
+      stats_.dram_write_bytes += line_bytes_;
+    }
+    w = Way{};
+  }
+}
+
+bool SetAssocCache::contains(Addr addr) const {
+  const u64 set = set_of(addr);
+  const u64 tag = tag_of(addr);
+  const Way* base = &ways_[set * assoc_];
+  for (u32 w = 0; w < assoc_; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+}  // namespace cello::cache

@@ -1,0 +1,82 @@
+// Set-associative cache simulator with LRU and BRRIP replacement — the
+// implicit-buffer baselines of Table IV (Flex+LRU, Flex+BRRIP).
+//
+// Write-allocate, write-back.  Every access pays an associativity-wide tag
+// lookup (tracked for the Fig. 15 energy comparison); misses fill a line from
+// DRAM and dirty evictions write one back.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cello::cache {
+
+enum class Policy {
+  Lru,
+  Brrip,  ///< bimodal RRIP (Jaleel et al.): 2-bit RRPV, mostly-distant insert
+};
+
+const char* to_string(Policy p);
+
+struct CacheStats {
+  u64 accesses = 0;
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 evictions = 0;
+  u64 writebacks = 0;
+  Bytes dram_read_bytes = 0;
+  Bytes dram_write_bytes = 0;
+  u64 tag_lookups = 0;  ///< one per access (reads `assoc` tags in parallel)
+  u64 data_accesses = 0;
+
+  Bytes dram_bytes() const { return dram_read_bytes + dram_write_bytes; }
+  double hit_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+class SetAssocCache {
+ public:
+  SetAssocCache(Bytes capacity, u32 line_bytes, u32 associativity, Policy policy);
+
+  /// One word/line-granule access; the cache operates on aligned lines.
+  void access(Addr addr, bool is_write);
+  /// Access every line overlapping [addr, addr+len).
+  void access_range(Addr addr, Bytes len, bool is_write);
+
+  /// Write back all dirty lines (end-of-run drain) and invalidate.
+  void flush();
+
+  bool contains(Addr addr) const;
+  const CacheStats& stats() const { return stats_; }
+
+  u32 line_bytes() const { return line_bytes_; }
+  u64 num_sets() const { return sets_; }
+  u32 associativity() const { return assoc_; }
+
+ private:
+  struct Way {
+    u64 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    u64 lru_stamp = 0;   ///< LRU
+    u32 rrpv = 3;        ///< BRRIP (2-bit re-reference prediction value)
+  };
+
+  u64 set_of(Addr addr) const { return (addr / line_bytes_) % sets_; }
+  u64 tag_of(Addr addr) const { return (addr / line_bytes_) / sets_; }
+  size_t victim_in_set(u64 set);
+
+  Bytes capacity_;
+  u32 line_bytes_;
+  u32 assoc_;
+  u64 sets_;
+  Policy policy_;
+  std::vector<Way> ways_;  // sets_ * assoc_, set-major
+  CacheStats stats_;
+  u64 clock_ = 0;
+  u64 brrip_insert_counter_ = 0;
+};
+
+}  // namespace cello::cache

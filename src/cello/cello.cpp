@@ -1,0 +1,47 @@
+#include "cello/cello.hpp"
+
+#include "common/format.hpp"
+
+namespace cello {
+
+sim::RunMetrics run(const ir::TensorDag& dag, sim::ConfigKind kind,
+                    const sim::AcceleratorConfig& arch, const sparse::CsrMatrix* matrix) {
+  return sim::simulate(dag, kind, arch, matrix);
+}
+
+const std::vector<sim::ConfigKind>& all_configs() {
+  static const std::vector<sim::ConfigKind> kConfigs = {
+      sim::ConfigKind::Flexagon, sim::ConfigKind::FlexLru,     sim::ConfigKind::FlexBrrip,
+      sim::ConfigKind::Flat,     sim::ConfigKind::Set,         sim::ConfigKind::PreludeOnly,
+      sim::ConfigKind::Cello,
+  };
+  return kConfigs;
+}
+
+std::vector<std::pair<std::string, sim::RunMetrics>> run_all(const ir::TensorDag& dag,
+                                                             const sim::AcceleratorConfig& arch,
+                                                             const sparse::CsrMatrix* matrix) {
+  std::vector<std::pair<std::string, sim::RunMetrics>> out;
+  for (sim::ConfigKind k : all_configs())
+    out.emplace_back(sim::to_string(k), run(dag, k, arch, matrix));
+  return out;
+}
+
+std::string compare_table(const ir::TensorDag& dag, const sim::AcceleratorConfig& arch,
+                          const sparse::CsrMatrix* matrix) {
+  const auto results = run_all(dag, arch, matrix);
+  const double base_time = results.front().second.seconds;
+  const double base_energy = results.front().second.offchip_energy_pj;
+
+  TextTable table({"config", "GMACs/s", "time", "DRAM traffic", "AI (MACs/B)",
+                   "speedup vs Flexagon", "off-chip energy vs Flexagon"});
+  for (const auto& [name, m] : results) {
+    table.add_row({name, format_double(m.gmacs_per_sec(), 2),
+                   format_double(m.seconds * 1e6, 1) + " us", format_bytes(static_cast<double>(m.dram_bytes)),
+                   format_double(m.intensity(), 2), format_double(base_time / m.seconds, 2) + "x",
+                   format_double(m.offchip_energy_pj / base_energy, 3)});
+  }
+  return table.to_string();
+}
+
+}  // namespace cello

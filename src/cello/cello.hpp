@@ -1,0 +1,46 @@
+// Cello public facade: build a workload DAG, schedule it with SCORE, run it
+// on a Table IV configuration, and report metrics.
+//
+// Quickstart:
+//   auto dag  = cello::workloads::build_cg_dag({.m = 81920, .n = 16, .nnz = 327680});
+//   cello::sim::AcceleratorConfig arch;           // Table V defaults
+//   auto cello_m = cello::run(dag, cello::sim::ConfigKind::Cello, arch);
+//   auto flex_m  = cello::run(dag, cello::sim::ConfigKind::Flexagon, arch);
+//   std::cout << cello::compare_table(dag, arch);  // all seven configurations
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/dag.hpp"
+#include "sim/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sparse/csr.hpp"
+#include "workloads/bicgstab.hpp"
+#include "workloads/cg.hpp"
+#include "workloads/gnn.hpp"
+#include "workloads/resnet.hpp"
+
+namespace cello {
+
+/// Simulate one configuration (thin alias over sim::simulate).
+sim::RunMetrics run(const ir::TensorDag& dag, sim::ConfigKind kind,
+                    const sim::AcceleratorConfig& arch,
+                    const sparse::CsrMatrix* matrix = nullptr);
+
+/// All Table IV configurations this build evaluates, in paper order.
+const std::vector<sim::ConfigKind>& all_configs();
+
+/// Run every configuration and return (name, metrics) pairs.
+std::vector<std::pair<std::string, sim::RunMetrics>> run_all(
+    const ir::TensorDag& dag, const sim::AcceleratorConfig& arch,
+    const sparse::CsrMatrix* matrix = nullptr);
+
+/// Render a paper-style comparison table (throughput, traffic, energy, and
+/// speedup / energy ratio relative to the Flexagon baseline).
+std::string compare_table(const ir::TensorDag& dag, const sim::AcceleratorConfig& arch,
+                          const sparse::CsrMatrix* matrix = nullptr);
+
+}  // namespace cello

@@ -1,0 +1,40 @@
+// Lightweight invariant checking. Violations throw cello::Error so tests can
+// assert on misuse of the public API without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cello {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "CELLO_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace cello
+
+#define CELLO_CHECK(expr)                                                       \
+  do {                                                                          \
+    if (!(expr)) ::cello::detail::throw_check_failure(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define CELLO_CHECK_MSG(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      std::ostringstream _cello_os;                                             \
+      _cello_os << msg;                                                         \
+      ::cello::detail::throw_check_failure(#expr, __FILE__, __LINE__, _cello_os.str()); \
+    }                                                                           \
+  } while (0)

@@ -1,0 +1,83 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cello {
+
+std::string format_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << bytes << ' ' << kUnits[u];
+  return os.str();
+}
+
+std::string format_rate(double per_second, const std::string& unit) {
+  static const char* kPrefix[] = {"", "K", "M", "G", "T", "P"};
+  int p = 0;
+  while (per_second >= 1000.0 && p < 5) {
+    per_second /= 1000.0;
+    ++p;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << per_second << ' ' << kPrefix[p] << unit;
+  return os.str();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_sci(double log10_value, int precision) {
+  const double exp = std::floor(log10_value);
+  const double mant = std::pow(10.0, log10_value - exp);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mant << "e+" << static_cast<long long>(exp);
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  CELLO_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CELLO_CHECK_MSG(row.size() == header_.size(),
+                  "row width " << row.size() << " != header width " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::ostringstream& os) {
+    os << "| ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_row(header_, os);
+  os << '|';
+  for (size_t c = 0; c < header_.size(); ++c) os << std::string(width[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, os);
+  return os.str();
+}
+
+}  // namespace cello

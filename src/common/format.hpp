@@ -1,0 +1,35 @@
+// Human-readable formatting and a fixed-width text table used by every bench
+// binary to print paper-style tables/series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cello {
+
+/// "1.50 KiB", "4.00 MiB", ...
+std::string format_bytes(double bytes);
+/// "123.4 GFLOP/s" style throughput.
+std::string format_rate(double per_second, const std::string& unit);
+/// Fixed precision double.
+std::string format_double(double v, int precision = 3);
+/// Scientific notation like "1.0e+80" for search-space sizes.
+std::string format_sci(double log10_value, int precision = 1);
+
+/// Minimal aligned-column table printer (markdown-ish output).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Render with column alignment; every row must match the header width.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cello

@@ -1,0 +1,24 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace cello {
+
+double Rng::normal() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_ = r * std::sin(theta);
+  have_cached_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace cello

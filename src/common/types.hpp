@@ -1,0 +1,28 @@
+// Fundamental scalar aliases and unit helpers shared by every Cello module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace cello {
+
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Byte counts and addresses in the simulated global address space.
+using Addr = u64;
+using Bytes = u64;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Integer ceiling division for non-negative operands.
+template <typename T>
+constexpr T ceil_div(T num, T den) {
+  return (num + den - 1) / den;
+}
+
+}  // namespace cello

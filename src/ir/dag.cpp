@@ -1,0 +1,165 @@
+#include "ir/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cello::ir {
+
+TensorId TensorDag::add_tensor(TensorDesc t) {
+  t.id = static_cast<TensorId>(tensors_.size());
+  CELLO_CHECK_MSG(t.ranks.size() == t.dims.size(),
+                  "tensor " << t.name << ": ranks/dims size mismatch");
+  tensors_.push_back(std::move(t));
+  return tensors_.back().id;
+}
+
+OpId TensorDag::add_op(EinsumOp op) {
+  op.id = static_cast<OpId>(ops_.size());
+  for (TensorId in : op.inputs) CELLO_CHECK(in >= 0 && in < static_cast<i32>(tensors_.size()));
+  CELLO_CHECK(op.output >= 0 && op.output < static_cast<i32>(tensors_.size()));
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+EdgeId TensorDag::add_edge(OpId src, OpId dst, TensorId tensor) {
+  CELLO_CHECK(src >= 0 && src < static_cast<i32>(ops_.size()));
+  CELLO_CHECK(dst >= 0 && dst < static_cast<i32>(ops_.size()));
+  CELLO_CHECK_MSG(ops_[src].output == tensor,
+                  "edge tensor " << tensors_[tensor].name << " is not the output of "
+                                 << ops_[src].name);
+  Edge e;
+  e.id = static_cast<EdgeId>(edges_.size());
+  e.src = src;
+  e.dst = dst;
+  e.tensor = tensor;
+  edges_.push_back(e);
+  return e.id;
+}
+
+const TensorDesc& TensorDag::tensor(TensorId t) const {
+  CELLO_CHECK(t >= 0 && t < static_cast<i32>(tensors_.size()));
+  return tensors_[t];
+}
+
+const EinsumOp& TensorDag::op(OpId o) const {
+  CELLO_CHECK(o >= 0 && o < static_cast<i32>(ops_.size()));
+  return ops_[o];
+}
+
+const Edge& TensorDag::edge(EdgeId e) const {
+  CELLO_CHECK(e >= 0 && e < static_cast<i32>(edges_.size()));
+  return edges_[e];
+}
+
+std::vector<EdgeId> TensorDag::out_edges(OpId o) const {
+  std::vector<EdgeId> out;
+  for (const auto& e : edges_)
+    if (e.src == o) out.push_back(e.id);
+  return out;
+}
+
+std::vector<EdgeId> TensorDag::in_edges(OpId o) const {
+  std::vector<EdgeId> in;
+  for (const auto& e : edges_)
+    if (e.dst == o) in.push_back(e.id);
+  return in;
+}
+
+std::vector<OpId> TensorDag::consumers(TensorId t) const {
+  std::vector<OpId> cs;
+  for (const auto& o : ops_)
+    if (std::find(o.inputs.begin(), o.inputs.end(), t) != o.inputs.end()) cs.push_back(o.id);
+  return cs;
+}
+
+std::optional<OpId> TensorDag::producer(TensorId t) const {
+  for (const auto& o : ops_)
+    if (o.output == t) return o.id;
+  return std::nullopt;
+}
+
+std::vector<OpId> TensorDag::topo_order() const {
+  std::vector<i32> indeg(ops_.size(), 0);
+  for (const auto& e : edges_) ++indeg[e.dst];
+  // Min-id queue keeps the order stable and aligned with construction order
+  // (which workload builders emit in program order).
+  std::priority_queue<OpId, std::vector<OpId>, std::greater<>> ready;
+  for (const auto& o : ops_)
+    if (indeg[o.id] == 0) ready.push(o.id);
+  std::vector<OpId> order;
+  order.reserve(ops_.size());
+  while (!ready.empty()) {
+    const OpId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (const auto& e : edges_)
+      if (e.src == u && --indeg[e.dst] == 0) ready.push(e.dst);
+  }
+  CELLO_CHECK_MSG(order.size() == ops_.size(), "DAG has a cycle");
+  return order;
+}
+
+i64 TensorDag::longest_path_len(OpId src, OpId dst) const {
+  return static_cast<i64>(longest_path(src, dst).size()) - 1;
+}
+
+std::vector<OpId> TensorDag::longest_path(OpId src, OpId dst) const {
+  const auto order = topo_order();
+  std::vector<i64> dist(ops_.size(), -1);
+  std::vector<OpId> pred(ops_.size(), kInvalidOp);
+  dist[src] = 0;
+  for (OpId u : order) {
+    if (dist[u] < 0) continue;
+    for (const auto& e : edges_) {
+      if (e.src != u) continue;
+      if (dist[u] + 1 > dist[e.dst]) {
+        dist[e.dst] = dist[u] + 1;
+        pred[e.dst] = u;
+      }
+    }
+  }
+  if (dist[dst] < 0) return {};
+  std::vector<OpId> path;
+  for (OpId v = dst; v != kInvalidOp; v = pred[v]) {
+    path.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+i64 TensorDag::schedule_distance(const Edge& e, const std::vector<OpId>& order) const {
+  std::vector<i64> pos(ops_.size(), -1);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<i64>(i);
+  CELLO_CHECK(pos[e.src] >= 0 && pos[e.dst] >= 0);
+  return pos[e.dst] - pos[e.src];
+}
+
+void TensorDag::validate() const {
+  for (const auto& e : edges_) {
+    const EinsumOp& s = op(e.src);
+    const EinsumOp& d = op(e.dst);
+    CELLO_CHECK_MSG(s.output == e.tensor, "edge tensor not produced by source op " << s.name);
+    CELLO_CHECK_MSG(std::find(d.inputs.begin(), d.inputs.end(), e.tensor) != d.inputs.end(),
+                    "edge tensor not consumed by destination op " << d.name);
+  }
+  (void)topo_order();  // throws on cycles
+}
+
+std::string TensorDag::to_dot() const {
+  std::ostringstream os;
+  os << "digraph cello {\n  rankdir=LR;\n";
+  for (const auto& o : ops_)
+    os << "  n" << o.id << " [label=\"" << o.name << "\\n" << to_string(o.dominance())
+       << "\"];\n";
+  for (const auto& e : edges_)
+    os << "  n" << e.src << " -> n" << e.dst << " [label=\"" << tensor(e.tensor).name
+       << (is_transitive(e) ? " (T)" : "") << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cello::ir

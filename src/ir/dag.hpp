@@ -1,0 +1,96 @@
+// Tensor-dependency DAG: einsum operators connected by edges that each carry
+// the tensor flowing from producer to consumer (Fig. 1 of the paper).
+//
+// The DAG provides the structural analyses SCORE needs:
+//  * topological order (the execution order of a temporally scheduled DAG),
+//  * longest paths between node pairs,
+//  * the transitive-edge test of Algorithm 2 (footnote 5: "a transitive edge
+//    is the edge not on the longest path between the source and the
+//    destination"),
+//  * schedule distance (number of scheduled steps an edge spans), which
+//    generalizes transitivity to cross-iteration back-to-self dependencies
+//    such as X(line 3, iter i) -> X(line 3, iter i+1) in CG.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/einsum.hpp"
+#include "ir/tensor.hpp"
+
+namespace cello::ir {
+
+using EdgeId = i32;
+
+struct Edge {
+  EdgeId id = -1;
+  OpId src = kInvalidOp;
+  OpId dst = kInvalidOp;
+  TensorId tensor = kInvalidTensor;
+};
+
+class TensorDag {
+ public:
+  // ---- construction -------------------------------------------------------
+  TensorId add_tensor(TensorDesc t);
+  OpId add_op(EinsumOp op);
+  /// Connect producer `src` to consumer `dst` through `tensor`.
+  EdgeId add_edge(OpId src, OpId dst, TensorId tensor);
+
+  /// Mark a tensor as an external input (produced before the DAG starts;
+  /// consumers read it without a producing node), e.g. the sparse matrix A.
+  void mark_external(TensorId t) { external_.push_back(t); }
+
+  /// Mark a tensor as a final result that must be drained to memory.
+  void mark_result(TensorId t) { tensors_[t].is_result = true; }
+
+  // ---- accessors ----------------------------------------------------------
+  const std::vector<TensorDesc>& tensors() const { return tensors_; }
+  const std::vector<EinsumOp>& ops() const { return ops_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<TensorId>& external_tensors() const { return external_; }
+
+  const TensorDesc& tensor(TensorId t) const;
+  const EinsumOp& op(OpId o) const;
+  const Edge& edge(EdgeId e) const;
+
+  std::vector<EdgeId> out_edges(OpId o) const;
+  std::vector<EdgeId> in_edges(OpId o) const;
+  /// Consumers of tensor `t` (ops that list it as input).
+  std::vector<OpId> consumers(TensorId t) const;
+  /// Producer of tensor `t` within the DAG, or nullopt for external inputs.
+  std::optional<OpId> producer(TensorId t) const;
+
+  // ---- structural analyses ------------------------------------------------
+  /// Kahn topological order; throws cello::Error on cycles.
+  std::vector<OpId> topo_order() const;
+
+  /// Length (in edges) of the longest src->dst path, or -1 if unreachable.
+  i64 longest_path_len(OpId src, OpId dst) const;
+  /// Node sequence (inclusive of endpoints) of one longest src->dst path.
+  std::vector<OpId> longest_path(OpId src, OpId dst) const;
+
+  /// True iff a longer path than the direct edge exists (footnote 5).
+  bool is_transitive(const Edge& e) const { return longest_path_len(e.src, e.dst) > 1; }
+
+  /// Number of scheduled steps between the edge's endpoints under `order`
+  /// (positions are indices into `order`).  An edge spanning more than one
+  /// step cannot be serviced by simple producer/consumer pipelining.
+  i64 schedule_distance(const Edge& e, const std::vector<OpId>& order) const;
+
+  /// Sanity checks: edges reference valid nodes/tensors, edge tensors match
+  /// producer outputs and consumer inputs, graph is acyclic.
+  void validate() const;
+
+  /// Graphviz DOT with nodes annotated by dominance (Fig. 7 style).
+  std::string to_dot() const;
+
+ private:
+  std::vector<TensorDesc> tensors_;
+  std::vector<EinsumOp> ops_;
+  std::vector<Edge> edges_;
+  std::vector<TensorId> external_;
+};
+
+}  // namespace cello::ir

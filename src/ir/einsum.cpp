@@ -1,0 +1,53 @@
+#include "ir/einsum.hpp"
+
+#include "common/error.hpp"
+
+namespace cello::ir {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::TensorMac: return "tensor_mac";
+    case OpKind::Elementwise: return "elementwise";
+    case OpKind::Inverse: return "inverse";
+  }
+  return "?";
+}
+
+const char* to_string(Dominance d) {
+  switch (d) {
+    case Dominance::Uncontracted: return "U";
+    case Dominance::Contracted: return "C";
+    case Dominance::Balanced: return "bal";
+  }
+  return "?";
+}
+
+i64 EinsumOp::macs() const {
+  if (macs_override >= 0) return macs_override;
+  i64 m = 1;
+  for (const auto& r : ranks) m *= r.effective();
+  return m;
+}
+
+const OpRank& EinsumOp::dominant_rank() const {
+  CELLO_CHECK_MSG(!ranks.empty(), "op " << name << " has no ranks");
+  const OpRank* best = &ranks.front();
+  for (const auto& r : ranks)
+    if (r.effective() > best->effective()) best = &r;
+  return *best;
+}
+
+Dominance EinsumOp::dominance() const {
+  const OpRank& dom = dominant_rank();
+  // Balanced when no rank exceeds the others by more than kDominanceRatio —
+  // e.g. the conv GEMMs of a ResNet block (784/512/128) are 'bal' while the
+  // skewed CG GEMMs (1e6 vs 16) are not.
+  i64 min_eff = dom.effective();
+  for (const auto& r : ranks) min_eff = std::min(min_eff, r.effective());
+  if (static_cast<double>(dom.effective()) <
+      kDominanceRatio * static_cast<double>(std::max<i64>(min_eff, 1)))
+    return Dominance::Balanced;
+  return dom.contracted ? Dominance::Contracted : Dominance::Uncontracted;
+}
+
+}  // namespace cello::ir

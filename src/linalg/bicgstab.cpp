@@ -1,0 +1,70 @@
+#include "linalg/bicgstab.hpp"
+
+#include <cmath>
+
+namespace cello::linalg {
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+BiCgStabResult bicgstab(const sparse::CsrMatrix& a, std::span<const double> b,
+                        const BiCgStabOptions& opts) {
+  const i64 n = a.rows();
+  CELLO_CHECK(a.cols() == n && static_cast<i64>(b.size()) == n);
+
+  BiCgStabResult res;
+  res.x.assign(static_cast<size_t>(n), 0.0);
+
+  std::vector<double> r(b.begin(), b.end());  // r0 = b - A*0
+  std::vector<double> r_hat = r;              // shadow residual
+  std::vector<double> p(static_cast<size_t>(n), 0.0), v(static_cast<size_t>(n), 0.0);
+  std::vector<double> s(static_cast<size_t>(n)), t(static_cast<size_t>(n));
+
+  double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
+  const double bnorm = std::max(norm2(b), 1e-300);
+
+  for (i64 it = 0; it < opts.max_iterations; ++it) {
+    const double rho = dot(r_hat, r);
+    CELLO_CHECK_MSG(std::abs(rho) > 1e-300, "BiCGStab breakdown (rho = 0)");
+    const double beta = (rho / rho_prev) * (alpha / omega);
+    for (i64 i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+
+    a.spmv(p, v);
+    alpha = rho / dot(r_hat, v);
+    for (i64 i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+
+    if (norm2(s) / bnorm < opts.tolerance && !opts.fixed_iterations) {
+      for (i64 i = 0; i < n; ++i) res.x[i] += alpha * p[i];
+      res.residual_history.push_back(norm2(s));
+      res.iterations = it + 1;
+      res.converged = true;
+      return res;
+    }
+
+    a.spmv(s, t);
+    const double tt = dot(t, t);
+    omega = tt > 0 ? dot(t, s) / tt : 0.0;
+    for (i64 i = 0; i < n; ++i) {
+      res.x[i] += alpha * p[i] + omega * s[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    res.residual_history.push_back(norm2(r));
+    res.iterations = it + 1;
+    if (norm2(r) / bnorm < opts.tolerance) {
+      res.converged = true;
+      if (!opts.fixed_iterations) return res;
+    }
+    rho_prev = rho;
+  }
+  return res;
+}
+
+}  // namespace cello::linalg

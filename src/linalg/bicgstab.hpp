@@ -1,0 +1,29 @@
+// BiCGStab (van der Vorst 1992), the second PDE-solver workload of Fig. 13.
+// Solved per right-hand side (the paper evaluates BiCGStab at N=1).
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "sparse/csr.hpp"
+
+namespace cello::linalg {
+
+struct BiCgStabOptions {
+  i64 max_iterations = 200;
+  double tolerance = 1e-8;
+  bool fixed_iterations = false;
+};
+
+struct BiCgStabResult {
+  std::vector<double> x;
+  i64 iterations = 0;
+  bool converged = false;
+  std::vector<double> residual_history;
+};
+
+/// Solve A x = b with unpreconditioned BiCGStab.
+BiCgStabResult bicgstab(const sparse::CsrMatrix& a, std::span<const double> b,
+                        const BiCgStabOptions& opts = {});
+
+}  // namespace cello::linalg

@@ -1,0 +1,82 @@
+#include "linalg/block_cg.hpp"
+
+#include "linalg/spmm.hpp"
+
+namespace cello::linalg {
+
+CgResult block_cg(const sparse::CsrMatrix& a, const DenseMatrix& b, const CgOptions& opts,
+                  const OpTraceHook& hook) {
+  const i64 m = a.rows();
+  const i64 n = b.cols();
+  CELLO_CHECK(a.cols() == m && b.rows() == m);
+
+  auto trace = [&](const char* line, const char* out) {
+    if (hook) hook(line, out);
+  };
+
+  CgResult res;
+  res.x = DenseMatrix(m, n);  // X0 = 0
+
+  // R = B - A*X = B (X0 = 0); Gamma = R^T R; P = R.
+  DenseMatrix r = b;
+  DenseMatrix gamma(n, n);
+  gemm(r, r, gamma, /*transpose_a=*/true);
+  DenseMatrix p = r;
+
+  DenseMatrix s(m, n), delta(n, n), lambda(n, n), phi(n, n), gamma_next(n, n);
+
+  for (i64 it = 0; it < opts.max_iterations; ++it) {
+    // Line 1: S = A * P (SpMM).
+    spmm(a, p, s);
+    trace("1", "S");
+
+    // Line 2a: Delta = P^T * S;  2b: Lambda = Delta^{-1} * Gamma.
+    gemm(p, s, delta, /*transpose_a=*/true);
+    trace("2a", "Delta");
+    DenseMatrix delta_inv = inverse(delta);
+    gemm(delta_inv, gamma, lambda);
+    trace("2b", "Lambda");
+
+    // Line 3: X = X + P * Lambda.
+    add_product(res.x, p, lambda, res.x, +1.0);
+    trace("3", "X");
+
+    // Line 4: R = R - S * Lambda.
+    add_product(r, s, lambda, r, -1.0);
+    trace("4", "R");
+
+    // Line 5: Gamma' = R^T * R.
+    gemm(r, r, gamma_next, /*transpose_a=*/true);
+    trace("5", "Gamma");
+
+    res.residual_history.push_back(r.max_col_norm());
+    ++res.iterations;
+
+    bool all_converged = true;
+    for (i64 j = 0; j < n; ++j)
+      if (gamma_next(j, j) > opts.tolerance * opts.tolerance) all_converged = false;
+    if (all_converged && !opts.fixed_iterations) {
+      res.converged = true;
+      return res;
+    }
+
+    // Line 6: Phi = Gamma_prev^{-1} * Gamma'.
+    DenseMatrix gamma_inv = inverse(gamma);
+    gemm(gamma_inv, gamma_next, phi);
+    trace("6", "Phi");
+
+    // Line 7: P = R + P * Phi.
+    add_product(r, p, phi, p, +1.0);
+    trace("7", "P");
+
+    gamma = gamma_next;
+  }
+  // Converged flag when the fixed-iteration loop happened to converge too.
+  bool all_converged = true;
+  for (i64 j = 0; j < n; ++j)
+    if (gamma_next(j, j) > opts.tolerance * opts.tolerance) all_converged = false;
+  res.converged = all_converged;
+  return res;
+}
+
+}  // namespace cello::linalg

@@ -1,0 +1,106 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+
+namespace cello::linalg {
+
+double DenseMatrix::frobenius_norm() const {
+  double s = 0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double DenseMatrix::max_col_norm() const {
+  double best = 0;
+  for (i64 c = 0; c < cols_; ++c) {
+    double s = 0;
+    for (i64 r = 0; r < rows_; ++r) s += (*this)(r, c) * (*this)(r, c);
+    best = std::max(best, std::sqrt(s));
+  }
+  return best;
+}
+
+void gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c, bool transpose_a,
+          bool transpose_b, double alpha, bool accumulate) {
+  const i64 m = transpose_a ? a.cols() : a.rows();
+  const i64 k = transpose_a ? a.rows() : a.cols();
+  const i64 kb = transpose_b ? b.cols() : b.rows();
+  const i64 n = transpose_b ? b.rows() : b.cols();
+  CELLO_CHECK_MSG(k == kb, "gemm contraction mismatch: " << k << " vs " << kb);
+  CELLO_CHECK(c.rows() == m && c.cols() == n);
+
+  auto at = [&](i64 i, i64 j) { return transpose_a ? a(j, i) : a(i, j); };
+  auto bt = [&](i64 i, i64 j) { return transpose_b ? b(j, i) : b(i, j); };
+
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      double acc = accumulate ? c(i, j) : 0.0;
+      for (i64 p = 0; p < k; ++p) acc += alpha * at(i, p) * bt(p, j);
+      c(i, j) = acc;
+    }
+  }
+}
+
+void add_product(const DenseMatrix& a, const DenseMatrix& b, const DenseMatrix& s,
+                 DenseMatrix& c, double sign) {
+  CELLO_CHECK(a.rows() == b.rows() && b.cols() == s.rows() && a.cols() == s.cols());
+  CELLO_CHECK(c.rows() == a.rows() && c.cols() == a.cols());
+  // c may alias a or b (e.g. "P = R + P*Phi" writes into P): stage each output
+  // row so reads of the current row complete before it is overwritten.
+  std::vector<double> tmp(static_cast<size_t>(a.cols()));
+  for (i64 i = 0; i < a.rows(); ++i) {
+    for (i64 j = 0; j < a.cols(); ++j) {
+      double acc = a(i, j);
+      for (i64 p = 0; p < b.cols(); ++p) acc += sign * b(i, p) * s(p, j);
+      tmp[static_cast<size_t>(j)] = acc;
+    }
+    auto out = c.row(i);
+    for (i64 j = 0; j < a.cols(); ++j) out[j] = tmp[static_cast<size_t>(j)];
+  }
+}
+
+DenseMatrix inverse(const DenseMatrix& m) {
+  CELLO_CHECK_MSG(m.rows() == m.cols(), "inverse requires a square matrix");
+  const i64 n = m.rows();
+  DenseMatrix a = m;
+  DenseMatrix inv(n, n);
+  for (i64 i = 0; i < n; ++i) inv(i, i) = 1.0;
+
+  for (i64 col = 0; col < n; ++col) {
+    i64 pivot = col;
+    for (i64 r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    CELLO_CHECK_MSG(std::abs(a(pivot, col)) > 1e-300, "singular matrix in inverse()");
+    if (pivot != col) {
+      for (i64 c = 0; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+        std::swap(inv(pivot, c), inv(col, c));
+      }
+    }
+    const double d = a(col, col);
+    for (i64 c = 0; c < n; ++c) {
+      a(col, c) /= d;
+      inv(col, c) /= d;
+    }
+    for (i64 r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a(r, col);
+      if (f == 0.0) continue;
+      for (i64 c = 0; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+        inv(r, c) -= f * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  CELLO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double best = 0;
+  for (i64 r = 0; r < a.rows(); ++r)
+    for (i64 c = 0; c < a.cols(); ++c) best = std::max(best, std::abs(a(r, c) - b(r, c)));
+  return best;
+}
+
+}  // namespace cello::linalg

@@ -1,0 +1,57 @@
+// Row-major dense matrices and the small kernels the CG/BiCGStab substrate
+// needs: GEMM (with optional transposes), AXPY-style updates, and a small
+// Gauss–Jordan inverse for the Greek-letter N×N tensors of Algorithm 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cello::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(i64 rows, i64 cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {}
+
+  i64 rows() const { return rows_; }
+  i64 cols() const { return cols_; }
+
+  double& operator()(i64 r, i64 c) { return data_[static_cast<size_t>(r * cols_ + c)]; }
+  double operator()(i64 r, i64 c) const { return data_[static_cast<size_t>(r * cols_ + c)]; }
+
+  std::span<double> row(i64 r) { return {data_.data() + r * cols_, static_cast<size_t>(cols_)}; }
+  std::span<const double> row(i64 r) const {
+    return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+  }
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  double frobenius_norm() const;
+  /// max_j sqrt(sum_i m(i,j)^2): per-column 2-norm maximum (residual check).
+  double max_col_norm() const;
+
+ private:
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C (+)= alpha * op(A) * op(B).  transpose_a/b transpose the logical operand.
+void gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c, bool transpose_a = false,
+          bool transpose_b = false, double alpha = 1.0, bool accumulate = false);
+
+/// C = A + B * S (the "P = R + P*Phi" / "X = X + P*Lambda" update shape).
+void add_product(const DenseMatrix& a, const DenseMatrix& b, const DenseMatrix& s,
+                 DenseMatrix& c, double sign = 1.0);
+
+/// In-place Gauss–Jordan inverse with partial pivoting; throws on singular.
+DenseMatrix inverse(const DenseMatrix& m);
+
+/// Max |a-b| over all entries.
+double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace cello::linalg

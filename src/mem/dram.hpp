@@ -1,0 +1,20 @@
+// Off-chip memory model: bandwidth-limited transfer time plus per-byte access
+// energy.  The paper's headline results are memory-bandwidth bound, so this
+// model together with the buffer hierarchy determines performance.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cello::mem {
+
+struct DramModel {
+  double bandwidth_bytes_per_sec = 1e12;  ///< Table V: 250 GB/s or 1 TB/s
+  double energy_pj_per_byte = 31.2;       ///< ~3.9 pJ/bit HBM2-class transfer
+
+  double seconds_for(Bytes bytes) const {
+    return static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+  double energy_pj(Bytes bytes) const { return static_cast<double>(bytes) * energy_pj_per_byte; }
+};
+
+}  // namespace cello::mem

@@ -1,0 +1,15 @@
+#include "mem/roofline.hpp"
+
+namespace cello::mem {
+
+double gemm_best_intensity(i64 m, i64 k, i64 n, Bytes word_bytes) {
+  const double macs = static_cast<double>(m) * static_cast<double>(k) * static_cast<double>(n);
+  const double words = static_cast<double>(m) * static_cast<double>(k) +
+                       static_cast<double>(k) * static_cast<double>(n) +
+                       static_cast<double>(m) * static_cast<double>(n);
+  return macs / (words * static_cast<double>(word_bytes));
+}
+
+double skewed_gemm_limit_ops_per_word(i64 n) { return static_cast<double>(n) / 2.0; }
+
+}  // namespace cello::mem

@@ -1,0 +1,33 @@
+// Roofline model (Williams et al.) and arithmetic-intensity analytics used
+// throughout the motivation section (Fig. 2) and as the per-op timing model.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cello::mem {
+
+struct Roofline {
+  double peak_flops_per_sec = 0;        ///< MACs/s * 1 (we count fused MACs as 1 op)
+  double bandwidth_bytes_per_sec = 0;
+
+  /// Attainable throughput (ops/s) at the given arithmetic intensity.
+  double attainable(double ops_per_byte) const {
+    const double mem_bound = ops_per_byte * bandwidth_bytes_per_sec;
+    return mem_bound < peak_flops_per_sec ? mem_bound : peak_flops_per_sec;
+  }
+
+  /// Intensity at which compute and memory limits meet (the ridge point).
+  double ridge_ops_per_byte() const { return peak_flops_per_sec / bandwidth_bytes_per_sec; }
+
+  bool memory_bound(double ops_per_byte) const { return ops_per_byte < ridge_ops_per_byte(); }
+};
+
+/// Best-case arithmetic intensity of a dense GEMM where every operand is read
+/// from / written to DRAM exactly once (Eq. 3-4 of the paper):
+///   AI = M*K*N / ((M*K + K*N + M*N) * word_bytes)   [ops per byte]
+double gemm_best_intensity(i64 m, i64 k, i64 n, Bytes word_bytes);
+
+/// The skewed-GEMM limit of Eq. 4: K/M -> 0 with K == N gives N/2 ops/word.
+double skewed_gemm_limit_ops_per_word(i64 n);
+
+}  // namespace cello::mem

@@ -1,0 +1,56 @@
+// Analytic SRAM area/energy model standing in for CACTI 7 (DESIGN.md §2).
+//
+// Calibration anchors, straight from the paper's Fig. 15 discussion at 4 MiB:
+//  * cache:   9.87 mm^2 total = 6.59 mm^2 data array + 1.85 mm^2 tag array
+//             (remainder: controller/peripheral logic),
+//  * buffets: data array + ~2% controller overhead = 6.72 mm^2,
+//  * CHORD:   6.74 mm^2 — buffet-like data array plus a 64-entry, 512-bit
+//             RIFF-index table (~0.01x of the cache tag array area).
+// Energies follow the same structure: cache pays a tag lookup comparable to a
+// data access on every reference; scratchpad/buffet/CHORD pay data only.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace cello::mem {
+
+enum class BufferKind { Cache, Scratchpad, Buffet, Chord };
+
+struct SramGeometry {
+  Bytes capacity = 4ull * 1024 * 1024;
+  u32 line_bytes = 16;   ///< Table V cache line
+  u32 associativity = 8; ///< Table V
+  u32 tag_bits = 28;     ///< derived from a 40-bit physical address space
+};
+
+struct AreaBreakdown {
+  double data_mm2 = 0;
+  double tag_mm2 = 0;        ///< caches only
+  double controller_mm2 = 0; ///< peripheral logic / credit scoreboard / index table
+  double total() const { return data_mm2 + tag_mm2 + controller_mm2; }
+};
+
+struct AccessEnergy {
+  double data_pj = 0;
+  double tag_pj = 0;       ///< caches: read assoc-many tags + compare
+  double metadata_pj = 0;  ///< CHORD: one RIFF-index-table entry on miss paths
+  double total() const { return data_pj + tag_pj + metadata_pj; }
+};
+
+class SramModel {
+ public:
+  explicit SramModel(SramGeometry geom = {}) : geom_(geom) {}
+
+  AreaBreakdown area(BufferKind kind) const;
+  /// Energy of one line-sized access.
+  AccessEnergy access_energy(BufferKind kind) const;
+
+  const SramGeometry& geometry() const { return geom_; }
+
+ private:
+  SramGeometry geom_;
+};
+
+const char* to_string(BufferKind k);
+
+}  // namespace cello::mem

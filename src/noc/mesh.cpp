@@ -1,0 +1,13 @@
+#include "noc/mesh.hpp"
+
+namespace cello::noc {
+
+DataflowTraffic compare_multinode(i64 m, i64 n, i64 nprime, const MeshNoc& mesh) {
+  DataflowTraffic t;
+  t.naive_words = static_cast<double>(m) * static_cast<double>(n);
+  t.score_words = static_cast<double>(n) * static_cast<double>(nprime) *
+                  static_cast<double>(mesh.broadcast_hops() + mesh.reduce_hops());
+  return t;
+}
+
+}  // namespace cello::noc

@@ -1,0 +1,39 @@
+// Mesh NoC hop model for the multi-node scalable dataflow of Sec. V-B.
+//
+// SCORE parallelizes the dominant rank across nodes so pipelines stay inside
+// a cluster and only the *small* tensors cross the NoC.  The alternative —
+// splitting a pipeline across nodes — moves the skewed M-by-N intermediate.
+// This model quantifies both strategies (the Fig. 8 bottom-row argument):
+//   naive:  SIZE_R           = M * N                      words moved
+//   score:  SIZE_small * hops = N * N' * (hops_bcast + hops_reduce)
+#pragma once
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace cello::noc {
+
+struct MeshNoc {
+  i64 nodes = 1;           ///< PEs/clusters participating
+  double hop_energy_pj_per_word = 0.8;
+
+  i64 side() const { return static_cast<i64>(std::ceil(std::sqrt(static_cast<double>(nodes)))); }
+
+  /// Worst-case hops of a tree broadcast on a 2D mesh: 2*(side-1).
+  i64 broadcast_hops() const { return nodes <= 1 ? 0 : 2 * (side() - 1); }
+  /// Reduction mirrors the broadcast tree.
+  i64 reduce_hops() const { return broadcast_hops(); }
+};
+
+struct DataflowTraffic {
+  double naive_words = 0;  ///< pipeline split across nodes: move the skewed tensor
+  double score_words = 0;  ///< cluster-local pipelines: move small tensors x hops
+  double ratio() const { return score_words > 0 ? naive_words / score_words : 0.0; }
+};
+
+/// Compare the two multi-node strategies for a skewed-GEMM stage with large
+/// rank M and small ranks N, N'.
+DataflowTraffic compare_multinode(i64 m, i64 n, i64 nprime, const MeshNoc& mesh);
+
+}  // namespace cello::noc

@@ -1,0 +1,135 @@
+#include "score/dependency.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cello::score {
+
+const char* to_string(DepKind k) {
+  switch (k) {
+    case DepKind::Sequential: return "sequential";
+    case DepKind::Pipelineable: return "pipelineable";
+    case DepKind::DelayedHold: return "delayed_hold";
+    case DepKind::DelayedWriteback: return "delayed_writeback";
+  }
+  return "?";
+}
+
+bool dominance_unshared(const ir::EinsumOp& dst, const ir::TensorDesc& tensor) {
+  return !tensor.has_rank(dst.dominant_rank().name);
+}
+
+namespace {
+
+/// The non-transitive (adjacent) rules of Algorithm 2, shared by both
+/// classifiers: pipelineable iff the source is an uncontracted/balanced MAC
+/// and the destination's dominant rank indexes the edge tensor.
+DepKind adjacent_kind(const ir::TensorDag& dag, const ir::Edge& e) {
+  const ir::EinsumOp& src = dag.op(e.src);
+  const ir::EinsumOp& dst = dag.op(e.dst);
+  const ir::TensorDesc& t = dag.tensor(e.tensor);
+  if (src.dominance() == ir::Dominance::Contracted) return DepKind::Sequential;
+  if (src.kind != ir::OpKind::TensorMac) return DepKind::Sequential;
+  if (dominance_unshared(dst, t)) return DepKind::Sequential;
+  return DepKind::Pipelineable;
+}
+
+Classification init(const ir::TensorDag& dag) {
+  Classification c;
+  c.edge_kind.assign(dag.edges().size(), DepKind::Sequential);
+  c.numcast.assign(dag.ops().size(), 0);
+  c.parallel_multicast.assign(dag.ops().size(), false);
+  return c;
+}
+
+void fill_multicast(const ir::TensorDag& dag, Classification& c,
+                    const std::vector<bool>& transitive) {
+  for (const auto& e : dag.edges())
+    if (!transitive[e.id]) ++c.numcast[e.src];
+  for (const auto& op : dag.ops()) c.parallel_multicast[op.id] = c.numcast[op.id] > 1;
+}
+
+}  // namespace
+
+Classification classify(const ir::TensorDag& dag) {
+  Classification c = init(dag);
+
+  std::vector<bool> transitive(dag.edges().size(), false);
+  for (const auto& e : dag.edges()) transitive[e.id] = dag.is_transitive(e);
+  fill_multicast(dag, c, transitive);
+
+  for (const auto& e : dag.edges()) {
+    if (!transitive[e.id]) {
+      c.edge_kind[e.id] = adjacent_kind(dag, e);
+      continue;
+    }
+    // Transitive edge.  If the adjacent-rule preconditions fail the edge is
+    // plain sequential; otherwise walk the longest path: delayed_hold when
+    // every hop pipelines, delayed_writeback when any hop breaks the chain.
+    if (adjacent_kind(dag, e) == DepKind::Sequential) {
+      c.edge_kind[e.id] = DepKind::Sequential;
+      continue;
+    }
+    const auto path = dag.longest_path(e.src, e.dst);
+    CELLO_CHECK(path.size() >= 3);  // transitive => at least one intermediate node
+    bool all_pipeline = true;
+    for (size_t i = 0; i + 1 < path.size() && all_pipeline; ++i) {
+      // Every consecutive pair on a longest path is joined by a direct edge.
+      bool hop_ok = false;
+      for (const auto& hop : dag.edges()) {
+        if (hop.src != path[i] || hop.dst != path[i + 1]) continue;
+        if (adjacent_kind(dag, hop) == DepKind::Pipelineable) hop_ok = true;
+      }
+      all_pipeline = hop_ok;
+    }
+    c.edge_kind[e.id] = all_pipeline ? DepKind::DelayedHold : DepKind::DelayedWriteback;
+  }
+  return c;
+}
+
+Classification classify_scheduled(const ir::TensorDag& dag, const std::vector<ir::OpId>& order) {
+  CELLO_CHECK_MSG(order.size() == dag.ops().size(), "order must cover every op");
+  std::vector<i64> pos(dag.ops().size(), -1);
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<i64>(i);
+  for (const auto& e : dag.edges())
+    CELLO_CHECK_MSG(pos[e.src] < pos[e.dst], "order is not topological for edge "
+                                                 << dag.op(e.src).name << " -> "
+                                                 << dag.op(e.dst).name);
+
+  Classification c = init(dag);
+  // An edge is "adjacent" when its endpoints are consecutive scheduled steps;
+  // everything wider is delayed (this subsumes graph transitivity).
+  std::vector<bool> distant(dag.edges().size(), false);
+  for (const auto& e : dag.edges()) distant[e.id] = (pos[e.dst] - pos[e.src]) > 1;
+  fill_multicast(dag, c, distant);
+
+  // Precompute pipelineability of each consecutive scheduled hop: hop p is
+  // pipelineable when a direct edge order[p] -> order[p+1] exists and passes
+  // the adjacent rules.
+  std::vector<bool> hop_pipes(order.size(), false);
+  for (size_t p = 0; p + 1 < order.size(); ++p) {
+    for (const auto& e : dag.edges()) {
+      if (e.src != order[p] || e.dst != order[p + 1]) continue;
+      if (adjacent_kind(dag, e) == DepKind::Pipelineable) hop_pipes[p] = true;
+    }
+  }
+
+  for (const auto& e : dag.edges()) {
+    if (!distant[e.id]) {
+      c.edge_kind[e.id] = adjacent_kind(dag, e);
+      continue;
+    }
+    if (adjacent_kind(dag, e) == DepKind::Sequential) {
+      c.edge_kind[e.id] = DepKind::Sequential;
+      continue;
+    }
+    bool all_pipeline = true;
+    for (i64 p = pos[e.src]; p < pos[e.dst]; ++p)
+      all_pipeline = all_pipeline && hop_pipes[static_cast<size_t>(p)];
+    c.edge_kind[e.id] = all_pipeline ? DepKind::DelayedHold : DepKind::DelayedWriteback;
+  }
+  return c;
+}
+
+}  // namespace cello::score

@@ -1,0 +1,58 @@
+// SCORE dependency classification — Algorithm 2 of the paper.
+//
+// Every DAG edge is classified as one of:
+//  * Sequential:       source does not pipeline with the destination (source
+//                      is contracted-dominant, is not a MAC op, or the
+//                      destination's dominant rank is unshared with the
+//                      edge tensor).  Operand goes through memory.
+//  * Pipelineable:     adjacent producer/consumer tile pipelining is legal.
+//  * DelayedHold:      transitive consumer, but the whole path to it
+//                      pipelines — hold the tile in the pipeline buffer.
+//  * DelayedWriteback: transitive consumer behind a non-pipelineable path —
+//                      the tensor must be written back (CHORD territory).
+//
+// Two classifiers are provided:
+//  * classify():            the literal Algorithm 2, using graph transitivity
+//                           (footnote 5: an edge is transitive iff a longer
+//                           path than the direct edge exists).
+//  * classify_scheduled():  generalizes transitivity to *schedule distance* —
+//                           an edge spanning more than one scheduled step is
+//                           delayed even when no longer graph path exists.
+//                           This covers cross-iteration self-dependencies
+//                           such as X(line 3) -> X(line 3, next iteration) in
+//                           CG, which the paper's CHORD example tracks with
+//                           reuse distance 7.  The two coincide on DAGs whose
+//                           schedule follows the longest path.
+#pragma once
+
+#include <vector>
+
+#include "ir/dag.hpp"
+
+namespace cello::score {
+
+enum class DepKind { Sequential, Pipelineable, DelayedHold, DelayedWriteback };
+
+const char* to_string(DepKind k);
+
+struct Classification {
+  /// Indexed by EdgeId.
+  std::vector<DepKind> edge_kind;
+  /// Indexed by OpId: number of non-transitive (direct) out-edges.
+  std::vector<i32> numcast;
+  /// Indexed by OpId: true when numcast > 1 (tensor multicast to parallel consumers).
+  std::vector<bool> parallel_multicast;
+};
+
+/// True when the destination op's dominant rank does not index the tensor —
+/// the "unshared dominance" test of Algorithm 2.
+bool dominance_unshared(const ir::EinsumOp& dst, const ir::TensorDesc& tensor);
+
+/// Literal Algorithm 2 (graph transitivity).
+Classification classify(const ir::TensorDag& dag);
+
+/// Algorithm 2 with transitivity generalized to schedule distance under
+/// `order` (a topological execution order).
+Classification classify_scheduled(const ir::TensorDag& dag, const std::vector<ir::OpId>& order);
+
+}  // namespace cello::score

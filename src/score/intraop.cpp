@@ -1,0 +1,85 @@
+#include "score/intraop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace cello::score {
+namespace {
+
+/// Power-of-two candidates up to and including `limit` (plus `limit` itself).
+std::vector<i64> tile_candidates(i64 limit) {
+  std::vector<i64> c;
+  for (i64 t = 1; t < limit; t *= 2) c.push_back(t);
+  c.push_back(limit);
+  return c;
+}
+
+}  // namespace
+
+std::string GemmMapping::to_string() const {
+  std::ostringstream os;
+  os << "Tm=" << tm << " Tk=" << tk << " Tn=" << tn;
+  return os.str();
+}
+
+double dram_words(const GemmShape& s, const GemmMapping& map) {
+  CELLO_CHECK(map.tm >= 1 && map.tk >= 1 && map.tn >= 1);
+  // An operand whose tile covers the whole tensor stays resident across the
+  // outer loops and moves exactly once (the RF-held small tensor of the
+  // paper's skewed GEMMs is the canonical case).
+  const bool a_resident = map.tm >= s.m && map.tk >= s.k;
+  const bool b_resident = map.tk >= s.k && map.tn >= s.n;
+  const bool z_resident = map.tm >= s.m && map.tn >= s.n;
+
+  const double a = static_cast<double>(s.m) * static_cast<double>(s.k) *
+                   (a_resident ? 1.0 : static_cast<double>(ceil_div(s.n, map.tn)));
+  const double b = static_cast<double>(s.k) * static_cast<double>(s.n) *
+                   (b_resident ? 1.0 : static_cast<double>(ceil_div(s.m, map.tm)));
+  const double k_tiles = static_cast<double>(ceil_div(s.k, map.tk));
+  const double z = static_cast<double>(s.m) * static_cast<double>(s.n) *
+                   (z_resident ? 1.0 : 2.0 * k_tiles - 1.0);
+  return a + b + z;
+}
+
+double oracle_words(const GemmShape& s) {
+  return static_cast<double>(s.m) * static_cast<double>(s.k) +
+         static_cast<double>(s.k) * static_cast<double>(s.n) +
+         static_cast<double>(s.m) * static_cast<double>(s.n);
+}
+
+double oracle_intensity_ops_per_word(const GemmShape& s) {
+  const double macs = static_cast<double>(s.m) * static_cast<double>(s.k) *
+                      static_cast<double>(s.n);
+  return macs / oracle_words(s);
+}
+
+MappingSearchResult search_best_mapping(const GemmShape& s, Bytes buffer_bytes) {
+  CELLO_CHECK(s.m > 0 && s.k > 0 && s.n > 0);
+  MappingSearchResult r;
+  r.oracle = oracle_words(s);
+  r.best_words = std::numeric_limits<double>::infinity();
+
+  for (i64 tm : tile_candidates(s.m)) {
+    for (i64 tk : tile_candidates(s.k)) {
+      for (i64 tn : tile_candidates(s.n)) {
+        const GemmMapping map{tm, tk, tn};
+        if (!map.fits(s, buffer_bytes)) continue;
+        ++r.mappings_evaluated;
+        const double w = dram_words(s, map);
+        if (w < r.best_words) {
+          r.best_words = w;
+          r.best = map;
+        }
+      }
+    }
+  }
+  CELLO_CHECK_MSG(r.mappings_evaluated > 0, "buffer too small for any tile");
+  return r;
+}
+
+}  // namespace cello::score

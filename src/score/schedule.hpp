@@ -1,0 +1,68 @@
+// SCORE scheduling (Sec. V-B / V-C of the paper).
+//
+// Given the classified DAG, SCORE:
+//  * orders operations (program order — the builders emit Algorithm 1 order),
+//  * picks per-op loop orders: the dominant rank goes outermost so the large
+//    tensor stays stationary and the small tensor streams from the register
+//    file; ops participating in pipelining instead get an uncontracted rank
+//    shared with the pipelined tensor outermost (the codependence conditions),
+//  * chooses one layout per tensor to minimize layout transformation
+//    (swizzle) across its consumers,
+//  * verifies which pipelineable edges are *realized* (codependence holds and
+//    the shared tensor is not swizzled) — unrealized ones demote to
+//    sequential (operand written back),
+//  * binds every tensor to a residency class: register file (small tensors,
+//    no search needed), pipeline buffer (all consumers pipeline/hold), CHORD
+//    (delayed-writeback/sequential consumers), or DRAM (dead outputs),
+//  * computes the coarse-grained reuse metadata (per-use frequency and
+//    distance) that SCORE hands to CHORD's RIFF policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dag.hpp"
+#include "score/dependency.hpp"
+
+namespace cello::score {
+
+enum class Residency { RegisterFile, PipelineBuffer, Chord, Dram };
+
+const char* to_string(Residency r);
+
+struct OpSchedule {
+  ir::OpId op = ir::kInvalidOp;
+  /// Rank names, outermost first.
+  std::vector<std::string> loop_order;
+  /// Ops sharing a group id pipeline together (rate-limited jointly).
+  i32 pipeline_group = -1;
+};
+
+struct ScheduleOptions {
+  Bytes rf_bytes = 64 * 1024;     ///< register-file capacity for "small" tensors
+  bool enable_pipelining = true;  ///< off = pure op-by-op (best-intra baselines)
+  bool minimize_swizzle = true;   ///< off = producer-preferred layout (ablation)
+};
+
+struct Schedule {
+  std::vector<OpSchedule> steps;       ///< execution order
+  Classification deps;                 ///< per-edge kinds after demotion
+  std::vector<bool> edge_realized;     ///< per EdgeId: serviced by pipeline buffer
+  std::vector<Residency> residency;    ///< per TensorId
+  std::vector<std::string> layout;     ///< per TensorId: stored major rank ("" = any)
+  i32 swizzle_count = 0;               ///< layout transforms the schedule could not avoid
+
+  /// Per TensorId: step indices at which the tensor is consumed.
+  std::vector<std::vector<i64>> use_positions;
+
+  /// Number of consumptions strictly after step `pos` (RIFF frequency).
+  i32 remaining_uses_after(ir::TensorId t, i64 pos) const;
+  /// Distance (in steps) from `pos` to the next consumption, or -1 (RIFF distance).
+  i64 next_use_distance(ir::TensorId t, i64 pos) const;
+  /// Step index of an op.
+  i64 position_of(ir::OpId op) const;
+};
+
+Schedule build_schedule(const ir::TensorDag& dag, const ScheduleOptions& opts = {});
+
+}  // namespace cello::score

@@ -1,0 +1,57 @@
+// Buffer-allocation search-space cost model (Sec. VI-B of the paper).
+//
+// Quantifies why explicit scratchpad allocation over a DAG is intractable and
+// how CHORD collapses it: log10 of the number of allocation choices for
+//  (1) slicing the buffer across T tensors (stars-and-bars),
+//  (2) arranging the slices (T! with contiguity, size! without),
+//  (3) choosing which elements go in each slice (binomial per tensor;
+//      contiguous slices reduce it to a start offset),
+//  (4) re-allocating over program time steps (exponentiation).
+// CHORD replaces all of this with RIFF decisions driven by high-level DAG
+// information: O(nodes + edges) — about 10^2 for CG-sized DAGs versus the
+// paper's headline ~10^80 for a 4 MB scratchpad and five tensors.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace cello::score {
+
+/// log10 of C(n, k) via lgamma (exact enough for 10^80-scale comparisons).
+double log10_binomial(double n, double k);
+/// log10 of n!.
+double log10_factorial(double n);
+
+struct SearchSpaceModel {
+  i64 buffer_words = 0;  ///< e.g. 4 MiB / 4 B = 2^20 words
+  i64 num_tensors = 0;   ///< contending tensors (paper example: 5)
+
+  /// (1) choices of slice sizes: C(size + T - 1, T - 1) ~ size^(T-1).
+  double log10_slice_allocation() const;
+  /// (2a) arranging lines freely: log10(size!).
+  double log10_line_arrangements() const;
+  /// (2b) arranging contiguous tensor blocks: log10(T!).
+  double log10_block_arrangements() const;
+  /// (3a) choosing slice elements freely: sum_i log10 C(Ti, Ti_slice).
+  double log10_element_choices(std::span<const i64> tensor_words,
+                               std::span<const i64> slice_words) const;
+  /// (3b) contiguous slices: sum_i log10(Ti - Ti_slice + 1).
+  double log10_contiguous_choices(std::span<const i64> tensor_words,
+                                  std::span<const i64> slice_words) const;
+  /// (4) static plan re-chosen at each of `time_steps` allocation epochs.
+  double log10_time_varying(double log10_static, i64 time_steps) const {
+    return log10_static * static_cast<double>(time_steps);
+  }
+
+  /// Baseline: op-by-op tiling search per op (intra-op only) — the paper
+  /// quotes ~10^15 for a 7-operator DAG.
+  static double log10_op_by_op(i64 buffer_words, i64 num_ops, i64 tensors_per_op = 3);
+
+  /// CHORD: RIFF policy only consults DAG-level reuse metadata.
+  static double chord_choices(i64 nodes, i64 edges) {
+    return static_cast<double>(nodes + edges);
+  }
+};
+
+}  // namespace cello::score

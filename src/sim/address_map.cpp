@@ -1,0 +1,33 @@
+#include "sim/address_map.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+#include "workloads/cg.hpp"
+
+namespace cello::sim {
+
+AddressMap AddressMap::build(const ir::TensorDag& dag, u32 align_bytes) {
+  AddressMap m;
+  m.base_of.assign(dag.tensors().size(), -1);
+
+  std::map<std::string, i32> index;
+  for (const auto& t : dag.tensors()) {
+    const std::string base = workloads::base_name(t.name);
+    auto [it, inserted] = index.try_emplace(base, static_cast<i32>(m.entries.size()));
+    if (inserted) m.entries.push_back({base, 0, t.bytes()});
+    Entry& e = m.entries[it->second];
+    e.bytes = std::max(e.bytes, t.bytes());
+    m.base_of[t.id] = it->second;
+  }
+
+  Addr cursor = 0x1000'0000ull;  // leave page zero unmapped, as hardware would
+  for (auto& e : m.entries) {
+    e.start = cursor;
+    const Bytes padded = (e.bytes + align_bytes - 1) / align_bytes * align_bytes;
+    cursor += padded + align_bytes;  // guard gap between tensors
+  }
+  return m;
+}
+
+}  // namespace cello::sim

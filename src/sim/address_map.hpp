@@ -1,0 +1,29 @@
+// Global address map: per-iteration tensor instances ("P@3") share the
+// storage of their base tensor ("P"), which is what CHORD and the caches see.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dag.hpp"
+
+namespace cello::sim {
+
+struct AddressMap {
+  struct Entry {
+    std::string base;   ///< base tensor name
+    Addr start = 0;
+    Bytes bytes = 0;    ///< max footprint over the base's instances
+  };
+
+  std::vector<Entry> entries;
+  /// Per ir::TensorId: index into `entries`.
+  std::vector<i32> base_of;
+
+  const Entry& of(ir::TensorId t) const { return entries[base_of[t]]; }
+  i32 base_id(ir::TensorId t) const { return base_of[t]; }
+
+  static AddressMap build(const ir::TensorDag& dag, u32 align_bytes = 64);
+};
+
+}  // namespace cello::sim

@@ -1,0 +1,51 @@
+// Accelerator architecture parameters (Table V) and the evaluated
+// schedule/buffer configurations (Table IV).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cello::sim {
+
+/// The seven schedule x buffer-hierarchy combinations of Table IV.
+enum class ConfigKind {
+  Flexagon,     ///< best intra-op schedule, explicit buffers, all ops begin/end in DRAM
+  FlexLru,      ///< best intra-op schedule, every access through an LRU cache
+  FlexBrrip,    ///< best intra-op schedule, every access through a BRRIP cache
+  Flat,         ///< adjacent pipelining when the tensor has no delayed consumer
+  Set,          ///< pipelining + delayed-hold support (SET-like)
+  PreludeOnly,  ///< best intra-op schedule, SRAM with PRELUDE as the only policy
+  Cello,        ///< SCORE schedule + pipeline buffer + CHORD (PRELUDE + RIFF)
+};
+
+const char* to_string(ConfigKind k);
+
+/// Table IV footnote: FLAT's paper dataflow is Parallel Pipeline (stages run
+/// concurrently; group time = max over compute/memory aggregates) while its
+/// hardware implementation is Sequential Pipeline (stages time-multiplex the
+/// array).  The choice changes timing only — DRAM traffic is identical.
+enum class PipelineStyle { Parallel, Sequential };
+
+struct AcceleratorConfig {
+  Bytes sram_bytes = 4ull * 1024 * 1024;  ///< on-chip buffer (cache / CHORD) capacity
+  i64 num_macs = 16384;
+  double clock_hz = 1e9;
+  u32 line_bytes = 16;
+  u32 cache_associativity = 8;
+  double dram_bytes_per_sec = 1e12;       ///< Table V: 250 GB/s and 1 TB/s
+  double dram_energy_pj_per_byte = 31.2;
+  Bytes rf_bytes = 64 * 1024;             ///< register file: small tensors live here
+  /// Largest tensor the pipeline buffer will *hold* for a delayed-hold
+  /// consumer (SET and Cello); larger tensors fall back to writeback.
+  Bytes hold_budget_bytes = 2ull * 1024 * 1024;
+  u32 chord_entries = 64;
+  PipelineStyle pipeline_style = PipelineStyle::Parallel;
+
+  double compute_seconds(i64 macs) const {
+    return static_cast<double>(macs) / (static_cast<double>(num_macs) * clock_hz);
+  }
+  double dram_seconds(Bytes b) const { return static_cast<double>(b) / dram_bytes_per_sec; }
+};
+
+}  // namespace cello::sim

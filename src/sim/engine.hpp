@@ -1,0 +1,32 @@
+// The Cello evaluation engine: plays a scheduled tensor DAG against one of
+// the Table IV schedule/buffer configurations and reports runtime, traffic
+// and energy.
+//
+// Analytic configurations (Flexagon, FLAT, SET, PRELUDE-only, Cello) account
+// traffic at tensor granularity per scheduled op — faithful because the
+// skewed operands are streamed sequentially, so per-op traffic equals
+// footprint times the (hit/miss) service split.  The cache configurations
+// (Flex+LRU, Flex+BRRIP) are trace-driven at cache-line granularity,
+// including the gather pattern of the SpMM (using the real sparse matrix
+// when provided).
+#pragma once
+
+#include "ir/dag.hpp"
+#include "score/schedule.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "sparse/csr.hpp"
+
+namespace cello::sim {
+
+/// Schedule the DAG the way the given configuration would (pipelining only
+/// for FLAT/SET/Cello; op-by-op otherwise).
+score::Schedule make_schedule(const ir::TensorDag& dag, ConfigKind kind,
+                              const AcceleratorConfig& arch);
+
+/// Simulate one configuration.  `matrix` (optional) supplies the real sparse
+/// structure for the SpMM gather trace of the cache configurations.
+RunMetrics simulate(const ir::TensorDag& dag, ConfigKind kind, const AcceleratorConfig& arch,
+                    const sparse::CsrMatrix* matrix = nullptr);
+
+}  // namespace cello::sim

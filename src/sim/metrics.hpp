@@ -1,0 +1,43 @@
+// Simulation outputs: runtime, throughput, traffic and energy.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cello::sim {
+
+struct RunMetrics {
+  double seconds = 0;
+  i64 total_macs = 0;
+  Bytes dram_bytes = 0;          ///< off-chip traffic (reads + writes)
+  Bytes dram_read_bytes = 0;
+  Bytes dram_write_bytes = 0;
+  double offchip_energy_pj = 0;
+  double onchip_energy_pj = 0;
+  u64 sram_line_accesses = 0;
+
+  /// Per base-tensor DRAM traffic, for traffic-attribution studies.
+  std::map<std::string, Bytes> traffic_by_tensor;
+
+  /// Per scheduled op: name, compute work and off-chip traffic — the rows of
+  /// the sim::report breakdown.
+  struct OpTraffic {
+    std::string op;
+    i64 macs = 0;
+    Bytes dram_bytes = 0;
+  };
+  std::vector<OpTraffic> per_op;
+
+  double gmacs_per_sec() const { return seconds > 0 ? static_cast<double>(total_macs) / seconds / 1e9 : 0; }
+  /// Achieved arithmetic intensity (MACs per DRAM byte).
+  double intensity() const {
+    return dram_bytes > 0 ? static_cast<double>(total_macs) / static_cast<double>(dram_bytes)
+                          : 0;
+  }
+  double total_energy_pj() const { return offchip_energy_pj + onchip_energy_pj; }
+};
+
+}  // namespace cello::sim

@@ -1,0 +1,53 @@
+#include "sim/multinode.hpp"
+
+#include "common/error.hpp"
+#include "workloads/cg.hpp"
+
+namespace cello::sim {
+
+MultiNodeMetrics simulate_multinode(const std::function<ir::TensorDag(i64)>& shard_builder,
+                                    ConfigKind kind, const AcceleratorConfig& arch, i64 nodes,
+                                    double noc_bytes_per_sec) {
+  CELLO_CHECK(nodes >= 1);
+  MultiNodeMetrics mm;
+  mm.nodes = nodes;
+
+  const ir::TensorDag shard = shard_builder(nodes);
+  mm.per_node = simulate(shard, kind, arch);
+
+  noc::MeshNoc mesh;
+  mesh.nodes = nodes;
+  if (nodes > 1) {
+    // SCORE strategy: every small (RF-class) tensor produced by the shard is
+    // the node's partial result of a contracted operator — it is reduced
+    // across nodes and the combined value broadcast back.
+    const i64 hops = mesh.broadcast_hops() + mesh.reduce_hops();
+    for (const auto& t : shard.tensors()) {
+      if (!shard.producer(t.id).has_value()) continue;
+      if (t.bytes() > arch.rf_bytes) continue;
+      mm.noc_bytes += t.bytes() * static_cast<Bytes>(hops);
+    }
+    // Naive strategy: pipelines span nodes, so each skewed intermediate
+    // crosses the NoC at least once per production.
+    for (const auto& t : shard.tensors()) {
+      if (!shard.producer(t.id).has_value()) continue;
+      if (t.bytes() <= arch.rf_bytes) continue;
+      mm.naive_noc_bytes += t.bytes() * static_cast<Bytes>(nodes);  // all shards move
+    }
+  }
+  mm.noc_seconds = static_cast<double>(mm.noc_bytes) / noc_bytes_per_sec;
+  mm.seconds = mm.per_node.seconds + mm.noc_seconds;
+
+  const double total_macs = static_cast<double>(mm.per_node.total_macs) *
+                            static_cast<double>(nodes);
+  mm.total_gmacs_per_sec = total_macs / mm.seconds / 1e9;
+
+  // Efficiency against the single-node run of the full problem.
+  const ir::TensorDag full = shard_builder(1);
+  const RunMetrics one = simulate(full, kind, arch);
+  const double speedup = one.seconds / mm.seconds;
+  mm.parallel_efficiency = speedup / static_cast<double>(nodes);
+  return mm;
+}
+
+}  // namespace cello::sim

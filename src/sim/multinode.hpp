@@ -1,0 +1,41 @@
+// Multi-node execution model (Sec. V-B "Scalable Dataflow").
+//
+// SCORE parallelizes the *dominant* rank across nodes: every node owns an
+// M/p shard of each skewed tensor (and of the sparse matrix's rows), keeps
+// its pipelines cluster-local, and only the small register-file tensors
+// cross the NoC — reductions for contracted-dominant operators (Delta and
+// Gamma in CG) and broadcasts of their small results (Lambda, Phi).
+//
+// The contrast is the naive strategy that splits producer/consumer pipelines
+// across nodes and therefore ships the skewed intermediate itself.
+#pragma once
+
+#include <functional>
+
+#include "ir/dag.hpp"
+#include "noc/mesh.hpp"
+#include "sim/engine.hpp"
+
+namespace cello::sim {
+
+struct MultiNodeMetrics {
+  i64 nodes = 1;
+  RunMetrics per_node;        ///< one node's shard simulation
+  Bytes noc_bytes = 0;        ///< SCORE strategy: small tensors x hops
+  Bytes naive_noc_bytes = 0;  ///< naive strategy: skewed intermediates x 1 hop min
+  double noc_seconds = 0;
+  double seconds = 0;         ///< per-node time + NoC serialization
+  double total_gmacs_per_sec = 0;
+  /// Speedup over 1 node divided by node count (1.0 = perfect scaling).
+  double parallel_efficiency = 0;
+};
+
+/// Simulate `kind` on `nodes` nodes.  `shard_builder(nodes)` must return the
+/// DAG of ONE node's shard (the workload builders parameterize M and nnz, so
+/// callers divide by the node count).  `full_builder()` returns the 1-node
+/// DAG used for the efficiency baseline and the naive-strategy traffic.
+MultiNodeMetrics simulate_multinode(const std::function<ir::TensorDag(i64 nodes)>& shard_builder,
+                                    ConfigKind kind, const AcceleratorConfig& arch, i64 nodes,
+                                    double noc_bytes_per_sec = 256e9);
+
+}  // namespace cello::sim

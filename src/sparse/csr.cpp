@@ -1,0 +1,81 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cello::sparse {
+
+CsrMatrix CsrMatrix::from_triplets(i64 rows, i64 cols, std::vector<Triplet> entries) {
+  for (const auto& t : entries) {
+    CELLO_CHECK_MSG(t.row >= 0 && t.row < rows, "triplet row out of range: " << t.row);
+    CELLO_CHECK_MSG(t.col >= 0 && t.col < cols, "triplet col out of range: " << t.col);
+  }
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix m(rows, cols);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(entries[i].col);
+    m.values_.push_back(sum);
+    ++m.row_ptr_[entries[i].row + 1];
+    i = j;
+  }
+  for (i64 r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+double CsrMatrix::max_row_nnz() const {
+  i64 mx = 0;
+  for (i64 r = 0; r < rows_; ++r) mx = std::max(mx, row_nnz(r));
+  return static_cast<double>(mx);
+}
+
+double CsrMatrix::avg_row_nnz() const {
+  return rows_ == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(rows_);
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<Triplet> ts;
+  ts.reserve(values_.size());
+  for (i64 r = 0; r < rows_; ++r)
+    for (i64 k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      ts.push_back({col_idx_[k], r, values_[k]});
+  return from_triplets(cols_, rows_, std::move(ts));
+}
+
+void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  CELLO_CHECK(static_cast<i64>(x.size()) == cols_);
+  CELLO_CHECK(static_cast<i64>(y.size()) == rows_);
+  for (i64 r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (i64 k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) acc += values_[k] * x[col_idx_[k]];
+    y[r] = acc;
+  }
+}
+
+void CsrMatrix::validate() const {
+  CELLO_CHECK(static_cast<i64>(row_ptr_.size()) == rows_ + 1);
+  CELLO_CHECK(row_ptr_.front() == 0);
+  CELLO_CHECK(row_ptr_.back() == nnz());
+  for (i64 r = 0; r < rows_; ++r) {
+    CELLO_CHECK_MSG(row_ptr_[r] <= row_ptr_[r + 1], "row_ptr not monotone at row " << r);
+    for (i64 k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      CELLO_CHECK(col_idx_[k] >= 0 && col_idx_[k] < cols_);
+      if (k + 1 < row_ptr_[r + 1])
+        CELLO_CHECK_MSG(col_idx_[k] < col_idx_[k + 1], "unsorted columns in row " << r);
+    }
+  }
+}
+
+}  // namespace cello::sparse

@@ -1,0 +1,41 @@
+#include "sparse/datasets.hpp"
+
+#include "common/error.hpp"
+#include "sparse/generators.hpp"
+
+namespace cello::sparse {
+
+const std::vector<DatasetSpec>& table6_datasets() {
+  static const std::vector<DatasetSpec> kDatasets = {
+      {"fv1", "2D/3D problem", 9604, 85264, MatrixStyle::FemBanded, 0, 0},
+      {"shallow_water1", "Fluid dynamics", 81920, 327680, MatrixStyle::FemBanded, 0, 0},
+      {"G2_circuit", "Circuit sim", 150102, 726674, MatrixStyle::Circuit, 0, 0},
+      {"nasa4704", "2D/3D problem (BiCGStab)", 4704, 104756, MatrixStyle::FemBanded, 0, 0},
+      {"cora", "GCN layer", 2708, 9464, MatrixStyle::PowerLawGraph, 1433, 7},
+      {"protein", "GCN layer", 3786, 14456, MatrixStyle::PowerLawGraph, 29, 2},
+  };
+  return kDatasets;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  for (const auto& d : table6_datasets())
+    if (d.name == name) return d;
+  CELLO_CHECK_MSG(false, "unknown dataset: " << name);
+  return table6_datasets().front();
+}
+
+CsrMatrix instantiate(const DatasetSpec& spec) {
+  // Seed from the dataset name so every run regenerates the identical matrix.
+  u64 seed = 0xCE110ull;
+  for (char c : spec.name) seed = seed * 131 + static_cast<u64>(c);
+  Rng rng(seed);
+  switch (spec.style) {
+    case MatrixStyle::FemBanded: return make_fem_banded(spec.rows, spec.nnz, rng);
+    case MatrixStyle::Circuit: return make_circuit(spec.rows, spec.nnz, rng);
+    case MatrixStyle::PowerLawGraph: return make_powerlaw_graph(spec.rows, spec.nnz, rng);
+  }
+  CELLO_CHECK(false);
+  return CsrMatrix{};
+}
+
+}  // namespace cello::sparse

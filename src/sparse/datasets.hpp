@@ -1,0 +1,38 @@
+// Dataset registry mirroring Table VI of the paper.
+//
+// Each entry records the published shape statistics (rows M, stored nnz, and
+// for GNN datasets the feature widths N and O) plus the generator style used
+// to synthesize a matrix with those statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace cello::sparse {
+
+enum class MatrixStyle { FemBanded, Circuit, PowerLawGraph };
+
+struct DatasetSpec {
+  std::string name;
+  std::string workload;  ///< Table VI "Workload" column
+  i64 rows = 0;
+  i64 nnz = 0;
+  MatrixStyle style = MatrixStyle::FemBanded;
+  /// GNN feature widths (0 when not applicable).
+  i64 gnn_in_features = 0;
+  i64 gnn_out_features = 0;
+};
+
+/// All Table VI datasets: fv1, shallow_water1, G2_circuit, cora, protein,
+/// plus nasa4704 used in the BiCGStab plot of Fig. 13.
+const std::vector<DatasetSpec>& table6_datasets();
+
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+/// Instantiate the synthetic matrix for a spec (deterministic per name).
+CsrMatrix instantiate(const DatasetSpec& spec);
+
+}  // namespace cello::sparse

@@ -1,0 +1,32 @@
+// Synthetic sparse-matrix generators.
+//
+// The paper evaluates on SuiteSparse matrices (fv1, shallow_water1,
+// G2_circuit, nasa4704) and OMEGA's GNN graphs (cora, protein).  Those files
+// are not available offline, so we generate matrices with the *same shape
+// statistics* (rows, nnz, occupancy profile) — the quantities that determine
+// traffic and reuse in the simulator.  See DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace cello::sparse {
+
+/// FEM-style banded matrix (stencil neighbourhoods): symmetric positive
+/// definite, ~target_nnz stored entries, diagonally dominant so CG converges.
+CsrMatrix make_fem_banded(i64 n, i64 target_nnz, Rng& rng);
+
+/// Circuit-simulation style: strong diagonal plus sparse random off-diagonal
+/// couplings (irregular row occupancy), SPD-ified by diagonal dominance.
+CsrMatrix make_circuit(i64 n, i64 target_nnz, Rng& rng);
+
+/// Power-law (graph adjacency) pattern for GNN datasets; returns the
+/// normalized adjacency with self loops (A_hat = A + I, row-normalized).
+CsrMatrix make_powerlaw_graph(i64 n, i64 target_nnz, Rng& rng);
+
+/// Make any square matrix strictly diagonally dominant (hence SPD when
+/// symmetrized) by lifting its diagonal; used by tests and solvers.
+CsrMatrix diagonally_dominant(const CsrMatrix& a, double margin = 1.0);
+
+}  // namespace cello::sparse

@@ -1,0 +1,68 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cello::sparse {
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  CELLO_CHECK_MSG(std::getline(in, line), "empty matrix market stream");
+  std::istringstream header(line);
+  std::string banner, object, fmt, field, symmetry;
+  header >> banner >> object >> fmt >> field >> symmetry;
+  std::transform(field.begin(), field.end(), field.begin(), ::tolower);
+  std::transform(symmetry.begin(), symmetry.end(), symmetry.begin(), ::tolower);
+  CELLO_CHECK_MSG(banner == "%%MatrixMarket", "not a MatrixMarket file");
+  CELLO_CHECK_MSG(fmt == "coordinate", "only coordinate format supported");
+  const bool pattern = (field == "pattern");
+  const bool symmetric = (symmetry == "symmetric");
+  CELLO_CHECK_MSG(symmetry == "general" || symmetric, "unsupported symmetry: " << symmetry);
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  i64 rows = 0, cols = 0, nnz = 0;
+  sizes >> rows >> cols >> nnz;
+  CELLO_CHECK_MSG(rows > 0 && cols > 0 && nnz >= 0, "bad size line: " << line);
+
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<size_t>(symmetric ? 2 * nnz : nnz));
+  for (i64 i = 0; i < nnz; ++i) {
+    CELLO_CHECK_MSG(std::getline(in, line), "truncated matrix market body at entry " << i);
+    std::istringstream entry(line);
+    i64 r = 0, c = 0;
+    double v = 1.0;
+    entry >> r >> c;
+    if (!pattern) entry >> v;
+    ts.push_back({r - 1, c - 1, v});
+    if (symmetric && r != c) ts.push_back({c - 1, r - 1, v});
+  }
+  return CsrMatrix::from_triplets(rows, cols, std::move(ts));
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  CELLO_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(const CsrMatrix& m, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  for (i64 r = 0; r < m.rows(); ++r)
+    for (i64 k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k)
+      out << (r + 1) << ' ' << (m.col_idx()[k] + 1) << ' ' << m.values()[k] << '\n';
+}
+
+void write_matrix_market_file(const CsrMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  CELLO_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_matrix_market(m, out);
+}
+
+}  // namespace cello::sparse

@@ -1,0 +1,19 @@
+// Minimal Matrix Market (.mtx) reader/writer so users can drop in real
+// SuiteSparse matrices in place of the synthetic generators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace cello::sparse {
+
+/// Supports "matrix coordinate real|integer|pattern general|symmetric".
+CsrMatrix read_matrix_market(std::istream& in);
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+void write_matrix_market(const CsrMatrix& m, std::ostream& out);
+void write_matrix_market_file(const CsrMatrix& m, const std::string& path);
+
+}  // namespace cello::sparse

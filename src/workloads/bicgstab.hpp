@@ -1,0 +1,24 @@
+// BiCGStab workload DAG (Fig. 13 of the paper, N = 1).
+//
+// Nine operators per iteration: two SpMVs against the external matrix A,
+// three contracted-dominant dot products (rho, alpha, omega — 'C' nodes whose
+// outputs live in the register file), and four skewed vector updates.  Like
+// CG, the vectors p, r, s, v, x all have delayed downstream consumers, so the
+// workload exercises CHORD's delayed-writeback path heavily.
+#pragma once
+
+#include "ir/dag.hpp"
+
+namespace cello::workloads {
+
+struct BiCgStabShape {
+  i64 m = 0;
+  i64 nnz = 0;
+  i64 n = 1;  ///< right-hand sides (the paper evaluates N = 1)
+  i64 iterations = 10;
+  Bytes word_bytes = 4;
+};
+
+ir::TensorDag build_bicgstab_dag(const BiCgStabShape& shape);
+
+}  // namespace cello::workloads

@@ -1,0 +1,38 @@
+// Block Conjugate Gradient workload DAG (Algorithm 1 / Fig. 1 of the paper).
+//
+// Each CG loop iteration contributes eight operator nodes (the paper's line
+// numbers, with line 2 split into its two multiplications as in Fig. 8):
+//   1   S      = A (.) P          SpMM, skewed M x N, compressed contraction
+//   2a  Delta  = P^T S            contracted-dominant GEMM (K = M)
+//   2b  Lambda = Delta^{-1} Gamma small inverse (N x N')
+//   3   X      = X + P Lambda     skewed update (delayed self-dependency)
+//   4   R      = R - S Lambda     skewed update
+//   5   Gamma  = R^T R            contracted-dominant GEMM
+//   6   Phi    = Gamma_prev^{-1} Gamma   small inverse
+//   7   P      = R + P Phi        skewed update (P feeds 4 ops next iteration)
+//
+// Tensors carry a stable "base" identity across iterations (S@2 and S@3 are
+// versions of the same buffer), which is what CHORD tracks.
+#pragma once
+
+#include <string>
+
+#include "ir/dag.hpp"
+
+namespace cello::workloads {
+
+struct CgShape {
+  i64 m = 0;          ///< large dimension (matrix rows)
+  i64 n = 8;          ///< right-hand sides (paper sweeps 1 and 16)
+  i64 nnz = 0;        ///< stored non-zeros of A
+  i64 iterations = 10;
+  Bytes word_bytes = 4;
+};
+
+/// Base tensor name of a per-iteration instance ("S@3" -> "S").
+std::string base_name(const std::string& instance_name);
+
+/// Build the CG tensor-dependency DAG over `shape.iterations` loop iterations.
+ir::TensorDag build_cg_dag(const CgShape& shape);
+
+}  // namespace cello::workloads

@@ -1,0 +1,29 @@
+// GCN layer workload (Table VI: cora, protein): Y = (A_hat . X) . W.
+// Two operators — an SpMM over the normalized adjacency and a dense GEMM —
+// joined by a single pipelineable edge (the paper: "the only tensor to be
+// reused across operations in a GNN layer is pipelineable", so Cello matches
+// FLAT here).
+#pragma once
+
+#include "ir/dag.hpp"
+
+namespace cello::workloads {
+
+struct GnnShape {
+  i64 vertices = 0;      ///< M
+  i64 nnz = 0;           ///< adjacency non-zeros
+  i64 in_features = 0;   ///< N
+  i64 out_features = 0;  ///< O
+  Bytes word_bytes = 4;
+};
+
+ir::TensorDag build_gnn_dag(const GnnShape& shape);
+
+/// Multi-layer GCN: layer l computes H_l = (A_hat . H_{l-1}) . W_l with a
+/// shared hidden width.  The adjacency A_hat is reused by every layer's
+/// aggregation — a delayed external reuse CHORD captures — while each H_l
+/// pipelines into its transform.
+ir::TensorDag build_gnn_multilayer_dag(const GnnShape& shape, i64 layers,
+                                       i64 hidden_features = 64);
+
+}  // namespace cello::workloads

@@ -1,0 +1,23 @@
+// Power iteration (dominant eigenvector): per iteration
+//   y      = A . x          SpMV ('U*', compressed contraction)
+//   sigma  = y^T y          contracted dot ('C', register file)
+//   x'     = y / sqrt(sigma) scale ('U')
+// A compact third HPC pattern: y has a delayed-writeback consumer (the scale
+// runs after the contracted dot breaks the pipeline chain) and A is reused by
+// every iteration — the CHORD sweet spot, with a DAG smaller than CG.
+#pragma once
+
+#include "ir/dag.hpp"
+
+namespace cello::workloads {
+
+struct PowerIterShape {
+  i64 m = 0;
+  i64 nnz = 0;
+  i64 iterations = 10;
+  Bytes word_bytes = 4;
+};
+
+ir::TensorDag build_power_iteration_dag(const PowerIterShape& shape);
+
+}  // namespace cello::workloads

@@ -1,0 +1,33 @@
+// ResNet residual block (Sec. VII-C1: ImageNet conv3_x block 1, 16-bit words).
+//
+// Convolutions are modelled as im2col GEMMs over M = H*W spatial positions.
+// The skip connection makes the block's input tensor a *delayed-hold*
+// dependency (Fig. 7, cyan): the whole path to the elementwise add pipelines,
+// so the tile is held in the pipeline buffer — the capability SET shares with
+// Cello, and FLAT lacks.
+//
+// Window ranks keep the source channel-rank identity ("c1" with effective
+// extent c1*kh*kw), so the shared-rank tests of Algorithm 2 see through the
+// im2col transformation.
+#pragma once
+
+#include "ir/dag.hpp"
+
+namespace cello::workloads {
+
+struct ResNetBlockShape {
+  i64 spatial = 28 * 28;  ///< H*W of conv3_x
+  i64 in_channels = 512;
+  i64 bottleneck = 128;
+  i64 kernel = 3;         ///< middle conv kernel size
+  Bytes word_bytes = 2;   ///< Table VII: 16-bit words for ResNet
+};
+
+ir::TensorDag build_resnet_block_dag(const ResNetBlockShape& shape = {});
+
+/// A chain of `blocks` residual blocks (conv3_x has four): each block's add
+/// output feeds both the next block's first conv (adjacent) and that block's
+/// add (delayed hold), so the stack exercises repeated hold dependencies.
+ir::TensorDag build_resnet_stack_dag(const ResNetBlockShape& shape, i64 blocks);
+
+}  // namespace cello::workloads

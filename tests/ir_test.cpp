@@ -1,0 +1,227 @@
+// Unit tests for the tensor-algebra IR: descriptors, einsum dominance, DAG
+// structure and the transitivity analyses Algorithm 2 depends on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/dag.hpp"
+
+namespace {
+
+using namespace cello;
+using ir::Dominance;
+using ir::EinsumOp;
+using ir::OpKind;
+using ir::OpRank;
+using ir::TensorDag;
+using ir::TensorDesc;
+
+TensorDesc dense2d(const std::string& name, i64 d0, i64 d1, Bytes word = 4) {
+  TensorDesc t;
+  t.name = name;
+  t.ranks = {"m", "n"};
+  t.dims = {d0, d1};
+  t.word_bytes = word;
+  return t;
+}
+
+TEST(TensorDesc, DenseBytesAndElements) {
+  const TensorDesc t = dense2d("T", 100, 8);
+  EXPECT_EQ(t.elements(), 800);
+  EXPECT_EQ(t.bytes(), 3200u);
+}
+
+TEST(TensorDesc, SparseBytesCountValuesCoordsRowptr) {
+  TensorDesc t;
+  t.name = "A";
+  t.ranks = {"m", "k"};
+  t.dims = {1000, 1000};
+  t.storage = ir::Storage::CompressedSparse;
+  t.nnz = 5000;
+  t.word_bytes = 4;
+  // 5000 values * 4B + 5000 cols * 4B + 1001 rowptr * 4B
+  EXPECT_EQ(t.bytes(), 5000u * 4 + 5000u * 4 + 1001u * 4);
+  EXPECT_EQ(t.elements(), 5000);
+}
+
+TEST(TensorDesc, RankQueries) {
+  const TensorDesc t = dense2d("T", 10, 20);
+  EXPECT_TRUE(t.has_rank("m"));
+  EXPECT_FALSE(t.has_rank("k"));
+  EXPECT_EQ(t.dim_of("n"), 20);
+  EXPECT_THROW(t.dim_of("zz"), Error);
+}
+
+TEST(EinsumOp, MacsFromRanksAndOverride) {
+  EinsumOp op;
+  op.name = "gemm";
+  op.ranks = {OpRank{"m", 10, false, -1}, OpRank{"k", 20, true, -1}, OpRank{"n", 30, false, -1}};
+  EXPECT_EQ(op.macs(), 6000);
+  op.macs_override = 42;
+  EXPECT_EQ(op.macs(), 42);
+}
+
+TEST(EinsumOp, UncontractedDominance) {
+  EinsumOp op;
+  op.ranks = {OpRank{"m", 1000000, false, -1}, OpRank{"k", 16, true, -1},
+              OpRank{"n", 16, false, -1}};
+  EXPECT_EQ(op.dominance(), Dominance::Uncontracted);
+  EXPECT_EQ(op.dominant_rank().name, "m");
+}
+
+TEST(EinsumOp, ContractedDominance) {
+  EinsumOp op;
+  op.ranks = {OpRank{"m", 1000000, true, -1}, OpRank{"n'", 16, false, -1},
+              OpRank{"n", 16, false, -1}};
+  EXPECT_EQ(op.dominance(), Dominance::Contracted);
+}
+
+TEST(EinsumOp, BalancedDominance) {
+  // ResNet-like conv GEMM: 784 / 512 / 128 all within the dominance ratio.
+  EinsumOp op;
+  op.ranks = {OpRank{"m", 784, false, -1}, OpRank{"k", 512, true, -1},
+              OpRank{"n", 128, false, -1}};
+  EXPECT_EQ(op.dominance(), Dominance::Balanced);
+}
+
+TEST(EinsumOp, CompressedRankUsesEffectiveExtent) {
+  // SpMM: the contracted rank is compressed — effective extent is the row
+  // occupancy, so the op is uncontracted-dominant (the 'U*' node of Fig. 7).
+  EinsumOp op;
+  op.ranks = {OpRank{"m", 100000, false, -1}, OpRank{"k", 100000, true, 9},
+              OpRank{"n", 16, false, -1}};
+  EXPECT_EQ(op.dominance(), Dominance::Uncontracted);
+  EXPECT_EQ(op.dominant_rank().name, "m");
+}
+
+TEST(EinsumOp, ToStringCoverage) {
+  EXPECT_STREQ(ir::to_string(Dominance::Uncontracted), "U");
+  EXPECT_STREQ(ir::to_string(Dominance::Contracted), "C");
+  EXPECT_STREQ(ir::to_string(Dominance::Balanced), "bal");
+  EXPECT_STREQ(ir::to_string(OpKind::Inverse), "inverse");
+}
+
+// ---- DAG structure ----------------------------------------------------------
+
+/// Diamond with a transitive shortcut:   a -> b -> d,  a -> c -> d,  a -> d.
+struct DiamondFixture {
+  TensorDag dag;
+  ir::OpId a, b, c, d;
+  ir::EdgeId shortcut;
+
+  DiamondFixture() {
+    auto mk_tensor = [&](const std::string& n) { return dag.add_tensor(dense2d(n, 64, 64)); };
+    const auto ta = mk_tensor("Ta"), tb = mk_tensor("Tb"), tc = mk_tensor("Tc"),
+               td = mk_tensor("Td"), tin = mk_tensor("Tin");
+    dag.mark_external(tin);
+    auto mk_op = [&](const std::string& n, std::vector<ir::TensorId> ins, ir::TensorId out) {
+      EinsumOp op;
+      op.name = n;
+      op.inputs = std::move(ins);
+      op.output = out;
+      op.ranks = {OpRank{"m", 64, false, -1}, OpRank{"n", 64, false, -1}};
+      return dag.add_op(op);
+    };
+    a = mk_op("a", {tin}, ta);
+    b = mk_op("b", {ta}, tb);
+    c = mk_op("c", {ta, tb}, tc);
+    d = mk_op("d", {ta, tc}, td);
+    dag.add_edge(a, b, ta);
+    dag.add_edge(b, c, tb);
+    dag.add_edge(a, c, ta);
+    dag.add_edge(c, d, tc);
+    shortcut = dag.add_edge(a, d, ta);
+    dag.validate();
+  }
+};
+
+TEST(TensorDag, TopoOrderIsProgramOrder) {
+  DiamondFixture f;
+  const auto order = f.dag.topo_order();
+  EXPECT_EQ(order, (std::vector<ir::OpId>{f.a, f.b, f.c, f.d}));
+}
+
+TEST(TensorDag, LongestPathPrefersIndirectRoute) {
+  DiamondFixture f;
+  EXPECT_EQ(f.dag.longest_path_len(f.a, f.d), 3);  // a->b->c->d
+  const auto path = f.dag.longest_path(f.a, f.d);
+  EXPECT_EQ(path, (std::vector<ir::OpId>{f.a, f.b, f.c, f.d}));
+}
+
+TEST(TensorDag, TransitiveEdgeDetection) {
+  DiamondFixture f;
+  EXPECT_TRUE(f.dag.is_transitive(f.dag.edge(f.shortcut)));
+  // a->b is on the longest path: not transitive.
+  EXPECT_FALSE(f.dag.is_transitive(f.dag.edge(0)));
+}
+
+TEST(TensorDag, ScheduleDistance) {
+  DiamondFixture f;
+  const auto order = f.dag.topo_order();
+  EXPECT_EQ(f.dag.schedule_distance(f.dag.edge(f.shortcut), order), 3);
+  EXPECT_EQ(f.dag.schedule_distance(f.dag.edge(0), order), 1);
+}
+
+TEST(TensorDag, ConsumersAndProducer) {
+  DiamondFixture f;
+  const auto ta = f.dag.op(f.a).output;
+  const auto consumers = f.dag.consumers(ta);
+  EXPECT_EQ(consumers.size(), 3u);  // b, c, d
+  EXPECT_EQ(f.dag.producer(ta), std::optional<ir::OpId>(f.a));
+  EXPECT_FALSE(f.dag.producer(f.dag.external_tensors().front()).has_value());
+}
+
+TEST(TensorDag, EdgeTensorMustMatchProducerOutput) {
+  DiamondFixture f;
+  const auto tb = f.dag.op(f.b).output;
+  EXPECT_THROW(f.dag.add_edge(f.a, f.d, tb), Error);  // Tb is not a's output
+}
+
+TEST(TensorDag, CycleDetection) {
+  TensorDag dag;
+  const auto t1 = dag.add_tensor(dense2d("T1", 4, 4));
+  const auto t2 = dag.add_tensor(dense2d("T2", 4, 4));
+  EinsumOp op1, op2;
+  op1.name = "p";
+  op1.inputs = {t2};
+  op1.output = t1;
+  op1.ranks = {OpRank{"m", 4, false, -1}};
+  op2.name = "q";
+  op2.inputs = {t1};
+  op2.output = t2;
+  op2.ranks = {OpRank{"m", 4, false, -1}};
+  const auto a = dag.add_op(op1);
+  const auto b = dag.add_op(op2);
+  dag.add_edge(a, b, t1);
+  dag.add_edge(b, a, t2);
+  EXPECT_THROW(dag.topo_order(), Error);
+}
+
+TEST(TensorDag, DotExportMentionsNodesAndTransitivity) {
+  DiamondFixture f;
+  const std::string dot = f.dag.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("(T)"), std::string::npos);  // transitive edge marker
+}
+
+TEST(TensorDag, ValidateRejectsNonConsumedEdge) {
+  TensorDag dag;
+  const auto t1 = dag.add_tensor(dense2d("T1", 4, 4));
+  const auto t2 = dag.add_tensor(dense2d("T2", 4, 4));
+  const auto t3 = dag.add_tensor(dense2d("T3", 4, 4));
+  dag.mark_external(t3);
+  EinsumOp op1, op2;
+  op1.name = "p";
+  op1.inputs = {t3};
+  op1.output = t1;
+  op1.ranks = {OpRank{"m", 4, false, -1}};
+  op2.name = "q";
+  op2.inputs = {t3};  // does NOT consume t1
+  op2.output = t2;
+  op2.ranks = {OpRank{"m", 4, false, -1}};
+  const auto a = dag.add_op(op1);
+  const auto b = dag.add_op(op2);
+  dag.add_edge(a, b, t1);
+  EXPECT_THROW(dag.validate(), Error);
+}
+
+}  // namespace

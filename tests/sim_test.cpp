@@ -1,0 +1,253 @@
+// Tests for the simulation engine: traffic formulas, configuration ordering,
+// address mapping and the NoC model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cello/cello.hpp"
+#include "noc/mesh.hpp"
+#include "sim/address_map.hpp"
+#include "sim/engine.hpp"
+#include "sparse/datasets.hpp"
+#include "workloads/bicgstab.hpp"
+#include "workloads/cg.hpp"
+#include "workloads/gnn.hpp"
+#include "workloads/resnet.hpp"
+
+namespace {
+
+using namespace cello;
+using sim::AcceleratorConfig;
+using sim::ConfigKind;
+
+workloads::CgShape small_cg() {
+  workloads::CgShape s;
+  s.m = 9604;
+  s.n = 16;
+  s.nnz = 85264;
+  s.iterations = 5;
+  return s;
+}
+
+workloads::CgShape big_cg() {
+  workloads::CgShape s;
+  s.m = 81920;
+  s.n = 16;
+  s.nnz = 327680;
+  s.iterations = 5;
+  return s;
+}
+
+TEST(AddressMap, GroupsInstancesByBase) {
+  const auto dag = workloads::build_cg_dag(small_cg());
+  const auto map = sim::AddressMap::build(dag);
+  // 5 iterations of 8 tensors collapse into 9 bases + 4 initials share bases.
+  i32 p_base = -1;
+  for (const auto& t : dag.tensors()) {
+    if (workloads::base_name(t.name) == "P") {
+      if (p_base < 0) p_base = map.base_id(t.id);
+      EXPECT_EQ(map.base_id(t.id), p_base) << t.name;
+    }
+  }
+  EXPECT_GE(p_base, 0);
+}
+
+TEST(AddressMap, RangesAreDisjoint) {
+  const auto dag = workloads::build_cg_dag(small_cg());
+  const auto map = sim::AddressMap::build(dag);
+  for (size_t i = 0; i + 1 < map.entries.size(); ++i)
+    EXPECT_GE(map.entries[i + 1].start, map.entries[i].start + map.entries[i].bytes);
+}
+
+TEST(AddressMap, EntrySizedForLargestInstance) {
+  const auto dag = workloads::build_cg_dag(small_cg());
+  const auto map = sim::AddressMap::build(dag);
+  for (const auto& t : dag.tensors()) EXPECT_GE(map.of(t.id).bytes, t.bytes());
+}
+
+TEST(Engine, FlexagonTrafficIsExactColdSum) {
+  // Oracle op-by-op: every unique operand of every op moves exactly once.
+  const auto dag = workloads::build_gnn_dag({1000, 5000, 64, 16});
+  AcceleratorConfig arch;
+  const auto m = sim::simulate(dag, ConfigKind::Flexagon, arch);
+  Bytes expected = 0;
+  for (const auto& op : dag.ops()) {
+    std::set<ir::TensorId> seen;
+    for (auto in : op.inputs)
+      if (seen.insert(in).second) expected += dag.tensor(in).bytes();
+    expected += dag.tensor(op.output).bytes();
+  }
+  EXPECT_EQ(m.dram_bytes, expected);
+}
+
+TEST(Engine, FlatSkipsPipelinedIntermediate) {
+  const auto dag = workloads::build_gnn_dag({1000, 5000, 64, 16});
+  AcceleratorConfig arch;
+  const auto flex = sim::simulate(dag, ConfigKind::Flexagon, arch);
+  const auto flat = sim::simulate(dag, ConfigKind::Flat, arch);
+  ir::TensorId h = dag.edge(0).tensor;
+  EXPECT_EQ(flat.dram_bytes, flex.dram_bytes - 2 * dag.tensor(h).bytes());
+}
+
+TEST(Engine, CelloEqualsFlatOnGnn) {
+  // Fig. 13: "CELLO achieves the same performance as FLAT" for GNN layers.
+  const auto dag = workloads::build_gnn_dag({2708, 9464, 1433, 7});
+  AcceleratorConfig arch;
+  const auto flat = sim::simulate(dag, ConfigKind::Flat, arch);
+  const auto cello = sim::simulate(dag, ConfigKind::Cello, arch);
+  EXPECT_EQ(cello.dram_bytes, flat.dram_bytes);
+  EXPECT_DOUBLE_EQ(cello.seconds, flat.seconds);
+}
+
+TEST(Engine, FlatAndSetEqualFlexagonOnCg) {
+  // Sec. VII-C1: every CG intermediate has a delayed downstream consumer, so
+  // pipelining-only and hold-only schedulers gain nothing.
+  const auto dag = workloads::build_cg_dag(big_cg());
+  AcceleratorConfig arch;
+  const auto flex = sim::simulate(dag, ConfigKind::Flexagon, arch);
+  const auto flat = sim::simulate(dag, ConfigKind::Flat, arch);
+  const auto set = sim::simulate(dag, ConfigKind::Set, arch);
+  EXPECT_EQ(flat.dram_bytes, flex.dram_bytes);
+  EXPECT_EQ(set.dram_bytes, flex.dram_bytes);
+}
+
+TEST(Engine, CelloBeatsAllBaselinesOnCg) {
+  const auto dag = workloads::build_cg_dag(big_cg());
+  AcceleratorConfig arch;
+  const auto cello = sim::simulate(dag, ConfigKind::Cello, arch);
+  for (ConfigKind k : {ConfigKind::Flexagon, ConfigKind::Flat, ConfigKind::Set,
+                       ConfigKind::PreludeOnly}) {
+    const auto base = sim::simulate(dag, k, arch);
+    EXPECT_LT(cello.dram_bytes, base.dram_bytes) << sim::to_string(k);
+    EXPECT_LT(cello.seconds, base.seconds) << sim::to_string(k);
+  }
+}
+
+TEST(Engine, RiffBeatsPreludeOnlyUnderContention) {
+  // Fig. 16c: RIFF keeps frequently reused tensors resident when the working
+  // set exceeds the buffer.
+  const auto dag = workloads::build_cg_dag(big_cg());
+  AcceleratorConfig arch;
+  const auto cello = sim::simulate(dag, ConfigKind::Cello, arch);
+  const auto prelude = sim::simulate(dag, ConfigKind::PreludeOnly, arch);
+  EXPECT_LT(cello.dram_bytes, prelude.dram_bytes);
+}
+
+TEST(Engine, SetMatchesCelloOnResNetAndBeatsFlat) {
+  // Fig. 16a: SET handles the delayed-hold skip connection like Cello; FLAT
+  // must spill the block input.
+  const auto dag = workloads::build_resnet_block_dag({});
+  AcceleratorConfig arch;
+  arch.dram_bytes_per_sec = 250e9;
+  const auto set = sim::simulate(dag, ConfigKind::Set, arch);
+  const auto cello = sim::simulate(dag, ConfigKind::Cello, arch);
+  const auto flat = sim::simulate(dag, ConfigKind::Flat, arch);
+  EXPECT_EQ(set.dram_bytes, cello.dram_bytes);
+  EXPECT_GT(flat.dram_bytes, set.dram_bytes);
+}
+
+TEST(Engine, ResNetComputeBoundAtFullBandwidth) {
+  // Sec. VII-C1: at 1 TB/s the residual block saturates compute.
+  const auto dag = workloads::build_resnet_block_dag({});
+  AcceleratorConfig arch;
+  const auto cello = sim::simulate(dag, ConfigKind::Cello, arch);
+  const double compute_s = arch.compute_seconds(cello.total_macs);
+  EXPECT_NEAR(cello.seconds, compute_s, compute_s * 0.35);
+}
+
+TEST(Engine, TrafficConservation) {
+  const auto dag = workloads::build_cg_dag(small_cg());
+  AcceleratorConfig arch;
+  for (ConfigKind k : cello::all_configs()) {
+    const auto m = sim::simulate(dag, k, arch);
+    EXPECT_EQ(m.dram_bytes, m.dram_read_bytes + m.dram_write_bytes) << sim::to_string(k);
+    EXPECT_GT(m.total_macs, 0) << sim::to_string(k);
+    EXPECT_GT(m.seconds, 0.0) << sim::to_string(k);
+  }
+}
+
+TEST(Engine, CacheConfigsRespondToRealMatrixStructure) {
+  const auto spec = sparse::dataset_by_name("fv1");
+  const auto matrix = sparse::instantiate(spec);
+  workloads::CgShape s;
+  s.m = spec.rows;
+  s.n = 16;
+  s.nnz = matrix.nnz();
+  s.iterations = 2;
+  const auto dag = workloads::build_cg_dag(s);
+  AcceleratorConfig arch;
+  const auto with = sim::simulate(dag, ConfigKind::FlexLru, arch, &matrix);
+  const auto without = sim::simulate(dag, ConfigKind::FlexLru, arch, nullptr);
+  EXPECT_GT(with.dram_bytes, 0u);
+  EXPECT_GT(without.dram_bytes, 0u);
+}
+
+TEST(Engine, BandwidthScalesMemoryBoundRuntime) {
+  const auto dag = workloads::build_cg_dag(big_cg());
+  AcceleratorConfig fast, slow;
+  fast.dram_bytes_per_sec = 1e12;
+  slow.dram_bytes_per_sec = 250e9;
+  const auto f = sim::simulate(dag, ConfigKind::Flexagon, fast);
+  const auto s = sim::simulate(dag, ConfigKind::Flexagon, slow);
+  EXPECT_NEAR(s.seconds / f.seconds, 4.0, 0.2);  // memory bound: ~4x slower
+}
+
+TEST(Engine, LargerChordReducesTraffic) {
+  // Fig. 16b SRAM sweep shape: bigger CHORD, less DRAM.
+  const auto dag = workloads::build_cg_dag(big_cg());
+  AcceleratorConfig small, large;
+  small.sram_bytes = 1ull << 20;
+  large.sram_bytes = 16ull << 20;
+  const auto m_small = sim::simulate(dag, ConfigKind::Cello, small);
+  const auto m_large = sim::simulate(dag, ConfigKind::Cello, large);
+  EXPECT_LT(m_large.dram_bytes, m_small.dram_bytes);
+}
+
+TEST(Engine, BicgstabCelloWins) {
+  workloads::BiCgStabShape s;
+  s.m = 81920;
+  s.nnz = 327680;
+  s.iterations = 5;
+  const auto dag = workloads::build_bicgstab_dag(s);
+  AcceleratorConfig arch;
+  const auto flex = sim::simulate(dag, ConfigKind::Flexagon, arch);
+  const auto cello = sim::simulate(dag, ConfigKind::Cello, arch);
+  EXPECT_LT(cello.dram_bytes, flex.dram_bytes);
+}
+
+TEST(Engine, TrafficByTensorAccountsEverything) {
+  const auto dag = workloads::build_cg_dag(small_cg());
+  AcceleratorConfig arch;
+  const auto m = sim::simulate(dag, ConfigKind::Cello, arch);
+  Bytes sum = 0;
+  for (const auto& [base, b] : m.traffic_by_tensor) sum += b;
+  EXPECT_EQ(sum, m.dram_bytes);
+}
+
+// ---- NoC model ---------------------------------------------------------------
+
+TEST(Noc, HopCounts) {
+  noc::MeshNoc mesh;
+  mesh.nodes = 16;
+  EXPECT_EQ(mesh.side(), 4);
+  EXPECT_EQ(mesh.broadcast_hops(), 6);
+  mesh.nodes = 1;
+  EXPECT_EQ(mesh.broadcast_hops(), 0);
+}
+
+TEST(Noc, ScoreDataflowMovesLessForSkewedShapes) {
+  // Sec. V-B: M >> N * hops, so cluster-local pipelines win decisively.
+  noc::MeshNoc mesh;
+  mesh.nodes = 16;
+  const auto t = noc::compare_multinode(1000000, 16, 16, mesh);
+  EXPECT_GT(t.ratio(), 1000.0);
+}
+
+TEST(Noc, NaiveWinsOnlyForTinyM) {
+  noc::MeshNoc mesh;
+  mesh.nodes = 64;
+  const auto t = noc::compare_multinode(16, 16, 16, mesh);
+  EXPECT_LT(t.ratio(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,24 @@
+// End-to-end smoke: build CG, schedule with SCORE, run all configurations.
+#include <gtest/gtest.h>
+
+#include "cello/cello.hpp"
+
+namespace {
+
+TEST(Smoke, CgRunsAllConfigs) {
+  cello::workloads::CgShape shape;
+  shape.m = 9604;
+  shape.n = 16;
+  shape.nnz = 85264;
+  shape.iterations = 3;
+  const auto dag = cello::workloads::build_cg_dag(shape);
+  cello::sim::AcceleratorConfig arch;
+  const auto results = cello::run_all(dag, arch);
+  ASSERT_EQ(results.size(), 7u);
+  for (const auto& [name, m] : results) {
+    EXPECT_GT(m.seconds, 0.0) << name;
+    EXPECT_GT(m.total_macs, 0) << name;
+  }
+}
+
+}  // namespace
