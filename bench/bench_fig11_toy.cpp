@@ -39,7 +39,7 @@ int main() {
   bench::print_header("Toy trace: operand-level CHORD vs line-level LRU/BRRIP", "Fig. 11");
 
   // Four tensors of 8 lines each (T1..T4); the buffer holds 8 lines total.
-  const Addr t1 = 0x0, t2 = 0x1000, t3 = 0x2000, t4 = 0x3000;
+  const Addr t1 = 0x0, t3 = 0x2000, t4 = 0x3000;
   const Bytes sz = 8 * kLine;
 
   cache::SetAssocCache lru(kCap, kLine, 4, cache::Policy::Lru);

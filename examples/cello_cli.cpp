@@ -1,13 +1,18 @@
 // cello_cli — drive the full pipeline from the command line, optionally on a
-// real Matrix Market file.
+// real Matrix Market file.  Configurations resolve by name in the
+// sim::ConfigRegistry, so every Table IV preset AND every registered novel
+// combination (SCORE+LRU, FLAT+CHORD, ...) is runnable.
 //
 // Usage:
 //   ./example_cello_cli simulate  [--workload cg|bicgstab|gnn|resnet|power]
 //                                 [--dataset <table6 name> | --mtx <file.mtx>]
 //                                 [--n <rhs>] [--iters <k>] [--bw <GB/s>]
 //                                 [--sram <MiB>] [--config <name>|all]
+//   ./example_cello_cli sweep     [--workload ...] [--dataset ...] [--jobs <n>]
+//                                 (all registered configs, parallel SweepRunner)
 //   ./example_cello_cli classify  [--workload ...] [--dataset ...]
 //   ./example_cello_cli report    [--workload ...] [--dataset ...]   (per-op breakdown)
+//   ./example_cello_cli configs   (list registry entries)
 //   ./example_cello_cli datasets
 #include <cstring>
 #include <iostream>
@@ -36,6 +41,7 @@ struct Options {
   i64 iters = 10;
   double bw_gbps = 1000;
   Bytes sram_mib = 4;
+  u32 jobs = 0;  // 0 = hardware concurrency
 };
 
 Options parse(int argc, char** argv) {
@@ -54,20 +60,28 @@ Options parse(int argc, char** argv) {
     else if (auto v6 = next("--bw")) o.bw_gbps = std::stod(*v6);
     else if (auto v7 = next("--sram")) o.sram_mib = static_cast<Bytes>(std::stoull(*v7));
     else if (auto v8 = next("--config")) o.config = *v8;
+    else if (auto v9 = next("--jobs")) o.jobs = static_cast<u32>(std::stoul(*v9));
   }
   return o;
 }
 
-std::optional<sim::ConfigKind> config_by_name(const std::string& name) {
-  for (auto k : all_configs())
-    if (name == sim::to_string(k)) return k;
-  return std::nullopt;
+int list_configs() {
+  TextTable t({"name", "schedule", "buffer", "composition"});
+  const auto& registry = sim::ConfigRegistry::global();
+  for (const auto& name : registry.names()) {
+    const auto& c = registry.at(name);
+    t.add_row({c.name, sim::to_string(c.schedule), c.buffer_name, c.describe()});
+  }
+  std::cout << t.to_string();
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+
+  if (o.command == "configs") return list_configs();
 
   if (o.command == "datasets") {
     TextTable t({"name", "workload", "rows", "nnz", "GNN N", "GNN O"});
@@ -127,23 +141,45 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (o.command == "report") {
-    const auto m = run(dag, sim::ConfigKind::Cello, arch, &matrix);
+    const sim::Simulator simulator(arch, &matrix);
+    const auto m = simulator.run(dag, "Cello");
     std::cout << "Cello per-op breakdown:\n" << sim::per_op_report(m, arch) << "\n";
     std::cout << "Traffic by tensor:\n" << sim::per_tensor_report(m);
+    return 0;
+  }
+  if (o.command == "sweep") {
+    // Every registered configuration — presets and novel combinations — fanned
+    // across a thread pool; ordering is deterministic.
+    std::vector<sim::SweepWorkload> workloads;
+    workloads.push_back({o.workload, std::move(dag), &matrix});
+    const sim::SweepRunner runner(o.jobs);
+    const auto cells = runner.run(workloads, sim::ConfigRegistry::global().names(), arch);
+    TextTable t({"workload", "config", "GMACs/s", "time", "DRAM traffic"});
+    for (const auto& cell : cells)
+      t.add_row({cell.workload, cell.config, format_double(cell.metrics.gmacs_per_sec(), 2),
+                 format_double(cell.metrics.seconds * 1e6, 1) + " us",
+                 format_bytes(static_cast<double>(cell.metrics.dram_bytes))});
+    std::cout << t.to_string();
     return 0;
   }
   if (o.command == "simulate") {
     if (o.config == "all") {
       std::cout << compare_table(dag, arch, &matrix);
-    } else if (auto k = config_by_name(o.config)) {
-      const auto m = run(dag, *k, arch, &matrix);
-      std::cout << sim::to_string(*k) << ": " << format_double(m.gmacs_per_sec(), 1)
-                << " GMACs/s, " << format_bytes(static_cast<double>(m.dram_bytes))
-                << " DRAM, " << format_double(m.seconds * 1e6, 1) << " us\n";
-    } else {
-      std::cerr << "unknown config: " << o.config << " (use 'all' or a Table IV name)\n";
+      return 0;
+    }
+    const sim::Configuration* config = sim::ConfigRegistry::global().find(o.config);
+    if (config == nullptr) {
+      std::cerr << "unknown config: " << o.config << " (use 'all' or one of:";
+      for (const auto& name : sim::ConfigRegistry::global().names()) std::cerr << " " << name;
+      std::cerr << ")\n";
       return 1;
     }
+    const sim::Simulator simulator(arch, &matrix);
+    const auto m = simulator.run(dag, *config);
+    std::cout << config->name << " (" << config->describe() << "): "
+              << format_double(m.gmacs_per_sec(), 1) << " GMACs/s, "
+              << format_bytes(static_cast<double>(m.dram_bytes)) << " DRAM, "
+              << format_double(m.seconds * 1e6, 1) << " us\n";
     return 0;
   }
   std::cerr << "unknown command: " << o.command << "\n";

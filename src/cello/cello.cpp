@@ -6,7 +6,12 @@ namespace cello {
 
 sim::RunMetrics run(const ir::TensorDag& dag, sim::ConfigKind kind,
                     const sim::AcceleratorConfig& arch, const sparse::CsrMatrix* matrix) {
-  return sim::simulate(dag, kind, arch, matrix);
+  return sim::Simulator(arch, matrix).run(dag, kind);
+}
+
+sim::RunMetrics run(const ir::TensorDag& dag, const sim::Configuration& config,
+                    const sim::AcceleratorConfig& arch, const sparse::CsrMatrix* matrix) {
+  return sim::Simulator(arch, matrix).run(dag, config);
 }
 
 const std::vector<sim::ConfigKind>& all_configs() {
@@ -21,9 +26,11 @@ const std::vector<sim::ConfigKind>& all_configs() {
 std::vector<std::pair<std::string, sim::RunMetrics>> run_all(const ir::TensorDag& dag,
                                                              const sim::AcceleratorConfig& arch,
                                                              const sparse::CsrMatrix* matrix) {
+  const sim::Simulator simulator(arch, matrix);
+  const auto& registry = sim::ConfigRegistry::global();
   std::vector<std::pair<std::string, sim::RunMetrics>> out;
-  for (sim::ConfigKind k : all_configs())
-    out.emplace_back(sim::to_string(k), run(dag, k, arch, matrix));
+  for (const std::string& name : sim::ConfigRegistry::table4_names())
+    out.emplace_back(name, simulator.run(dag, registry.at(name)));
   return out;
 }
 

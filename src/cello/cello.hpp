@@ -1,12 +1,27 @@
 // Cello public facade: build a workload DAG, schedule it with SCORE, run it
-// on a Table IV configuration, and report metrics.
+// under a named or custom-composed configuration, and report metrics.
 //
-// Quickstart:
-//   auto dag  = cello::workloads::build_cg_dag({.m = 81920, .n = 16, .nnz = 327680});
-//   cello::sim::AcceleratorConfig arch;           // Table V defaults
-//   auto cello_m = cello::run(dag, cello::sim::ConfigKind::Cello, arch);
-//   auto flex_m  = cello::run(dag, cello::sim::ConfigKind::Flexagon, arch);
-//   std::cout << cello::compare_table(dag, arch);  // all seven configurations
+// Quickstart (composable API):
+//   auto dag = cello::workloads::build_cg_dag({.m = 81920, .n = 16, .nnz = 327680});
+//   cello::sim::AcceleratorConfig arch;                  // Table V defaults
+//   cello::sim::Simulator simulator(arch);
+//   auto& registry = cello::sim::ConfigRegistry::global();
+//   auto cello_m = simulator.run(dag, registry.at("Cello"));
+//   auto novel_m = simulator.run(dag, "SCORE+LRU");      // inexpressible under the old enum
+//
+//   // Custom pairing: any SchedulePolicy x BufferPolicy combination.
+//   auto mine = cello::sim::make_configuration(
+//       "mine", cello::sim::SchedulePolicy::Score, cello::sim::brrip_cache(), "BRRIP");
+//   auto mine_m = simulator.run(dag, mine);
+//
+//   // Parallel {workloads} x {configs} grid with deterministic ordering:
+//   cello::sim::SweepRunner sweep;
+//   auto cells = sweep.run({{"cg", dag}}, registry.names(), arch);
+//
+//   std::cout << cello::compare_table(dag, arch);        // the seven Table IV rows
+//
+// The ConfigKind enum and cello::run/run_all/compare_table below are thin
+// shims over the registry, kept for the paper-reproduction benches.
 #pragma once
 
 #include <string>
@@ -15,8 +30,15 @@
 
 #include "ir/dag.hpp"
 #include "sim/config.hpp"
+#include "sim/configuration.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/policies/cache_policy.hpp"
+#include "sim/policies/chord_policy.hpp"
+#include "sim/policies/explicit_buffers.hpp"
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "sparse/csr.hpp"
 #include "workloads/bicgstab.hpp"
 #include "workloads/cg.hpp"
@@ -25,15 +47,20 @@
 
 namespace cello {
 
-/// Simulate one configuration (thin alias over sim::simulate).
+/// Simulate one Table IV configuration (thin shim over sim::Simulator).
 sim::RunMetrics run(const ir::TensorDag& dag, sim::ConfigKind kind,
+                    const sim::AcceleratorConfig& arch,
+                    const sparse::CsrMatrix* matrix = nullptr);
+
+/// Simulate an arbitrary composed configuration.
+sim::RunMetrics run(const ir::TensorDag& dag, const sim::Configuration& config,
                     const sim::AcceleratorConfig& arch,
                     const sparse::CsrMatrix* matrix = nullptr);
 
 /// All Table IV configurations this build evaluates, in paper order.
 const std::vector<sim::ConfigKind>& all_configs();
 
-/// Run every configuration and return (name, metrics) pairs.
+/// Run every Table IV configuration and return (name, metrics) pairs.
 std::vector<std::pair<std::string, sim::RunMetrics>> run_all(
     const ir::TensorDag& dag, const sim::AcceleratorConfig& arch,
     const sparse::CsrMatrix* matrix = nullptr);

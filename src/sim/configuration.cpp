@@ -1,0 +1,25 @@
+#include "sim/configuration.hpp"
+
+namespace cello::sim {
+
+std::string Configuration::describe() const {
+  std::string out = to_string(schedule);
+  out += " + ";
+  out += buffer_name.empty() ? "?" : buffer_name;
+  if (schedule == SchedulePolicy::AdjacentPipeline && allow_delayed_hold) out += " (hold)";
+  return out;
+}
+
+Configuration make_configuration(std::string name, SchedulePolicy schedule,
+                                 BufferPolicyFactory buffers, std::string buffer_name,
+                                 bool allow_delayed_hold) {
+  Configuration c;
+  c.name = std::move(name);
+  c.schedule = schedule;
+  c.buffers = std::move(buffers);
+  c.buffer_name = std::move(buffer_name);
+  c.allow_delayed_hold = allow_delayed_hold;
+  return c;
+}
+
+}  // namespace cello::sim

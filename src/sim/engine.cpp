@@ -1,14 +1,10 @@
+// ConfigKind shims over the composable policy API.  The per-policy servicing
+// models that used to live here moved to src/sim/policies/ and the unified
+// evaluation loop to src/sim/simulator.cpp.
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <set>
-
-#include "cache/cache.hpp"
-#include "chord/chord.hpp"
-#include "common/error.hpp"
-#include "mem/sram_model.hpp"
-#include "sim/address_map.hpp"
-#include "workloads/cg.hpp"
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
 
 namespace cello::sim {
 
@@ -27,489 +23,12 @@ const char* to_string(ConfigKind k) {
 
 score::Schedule make_schedule(const ir::TensorDag& dag, ConfigKind kind,
                               const AcceleratorConfig& arch) {
-  score::ScheduleOptions opts;
-  opts.rf_bytes = arch.rf_bytes;
-  opts.enable_pipelining =
-      kind == ConfigKind::Flat || kind == ConfigKind::Set || kind == ConfigKind::Cello;
-  return score::build_schedule(dag, opts);
+  return Simulator(arch).make_schedule(dag, ConfigRegistry::preset(kind));
 }
-
-namespace {
-
-using score::DepKind;
-using score::Residency;
-using score::Schedule;
-
-/// Per-base-tensor reuse bookkeeping: the union of the use positions of every
-/// per-iteration instance sharing the base buffer.
-struct BaseReuse {
-  std::vector<std::vector<i64>> uses;  ///< per base id, sorted step positions
-
-  static BaseReuse build(const ir::TensorDag& dag, const Schedule& sched, const AddressMap& map) {
-    BaseReuse r;
-    r.uses.assign(map.entries.size(), {});
-    for (const auto& t : dag.tensors())
-      for (i64 p : sched.use_positions[t.id]) r.uses[map.base_id(t.id)].push_back(p);
-    for (auto& u : r.uses) std::sort(u.begin(), u.end());
-    return r;
-  }
-
-  i32 remaining_after(i32 base, i64 pos) const {
-    const auto& u = uses[base];
-    return static_cast<i32>(u.end() - std::upper_bound(u.begin(), u.end(), pos));
-  }
-  i64 next_distance(i32 base, i64 pos) const {
-    const auto& u = uses[base];
-    auto it = std::upper_bound(u.begin(), u.end(), pos);
-    return it == u.end() ? -1 : *it - pos;
-  }
-};
-
-/// Tensor-level pipelining decisions for the FLAT and SET baselines: a tensor
-/// stays on chip only when *every* consumer is serviced by the pipeline
-/// buffer (FLAT: adjacent realized pipelining only; SET: + delayed hold up to
-/// the hold budget).  Cello instead services edges individually (pipeline
-/// buffer for realized edges, CHORD for the rest).
-std::vector<bool> pipelined_tensors(const ir::TensorDag& dag, const Schedule& sched,
-                                    ConfigKind kind, const AcceleratorConfig& arch) {
-  std::vector<bool> piped(dag.tensors().size(), false);
-  if (kind != ConfigKind::Flat && kind != ConfigKind::Set && kind != ConfigKind::Cello)
-    return piped;
-  std::vector<i64> pos(dag.ops().size());
-  for (size_t i = 0; i < sched.steps.size(); ++i) pos[sched.steps[i].op] = static_cast<i64>(i);
-
-  for (const auto& t : dag.tensors()) {
-    if (!dag.producer(t.id).has_value()) continue;
-    const auto consumer_ops = dag.consumers(t.id);
-    if (consumer_ops.empty()) continue;
-    bool ok = true;
-    bool uses_hold = false;
-    for (const auto& e : dag.edges()) {
-      if (e.tensor != t.id) continue;
-      if (!sched.edge_realized[e.id]) {
-        ok = false;
-        break;
-      }
-      const DepKind k = sched.deps.edge_kind[e.id];
-      if (k == DepKind::DelayedHold) uses_hold = true;
-      if (kind == ConfigKind::Flat && (k != DepKind::Pipelineable || pos[e.dst] - pos[e.src] != 1)) {
-        ok = false;  // FLAT: strictly adjacent pipelining, no hold
-        break;
-      }
-    }
-    if (uses_hold && t.bytes() > arch.hold_budget_bytes) ok = false;
-    piped[t.id] = ok;
-  }
-  return piped;
-}
-
-/// Shared accounting helpers.
-struct Accounting {
-  RunMetrics metrics;
-  const AcceleratorConfig* arch = nullptr;
-
-  void add_dram_read(Bytes b, const std::string& base) {
-    metrics.dram_read_bytes += b;
-    metrics.traffic_by_tensor[base] += b;
-  }
-  void add_dram_write(Bytes b, const std::string& base) {
-    metrics.dram_write_bytes += b;
-    metrics.traffic_by_tensor[base] += b;
-  }
-  void finish_timing(const std::vector<double>& group_compute,
-                     const std::vector<double>& group_dram) {
-    for (size_t g = 0; g < group_compute.size(); ++g)
-      metrics.seconds += std::max(group_compute[g], group_dram[g]);
-  }
-};
-
-/// ---------------------------------------------------------------------------
-/// Analytic configurations: Flexagon, FLAT, SET, PRELUDE-only, Cello.
-/// ---------------------------------------------------------------------------
-RunMetrics simulate_analytic(const ir::TensorDag& dag, ConfigKind kind,
-                             const AcceleratorConfig& arch, const Schedule& sched) {
-  const AddressMap map = AddressMap::build(dag);
-  const BaseReuse reuse = BaseReuse::build(dag, sched, map);
-  const auto piped = pipelined_tensors(dag, sched, kind, arch);
-
-  const bool uses_chord = kind == ConfigKind::PreludeOnly || kind == ConfigKind::Cello;
-  chord::ChordBuffer chord_buf(arch.sram_bytes, arch.line_bytes,
-                               /*enable_riff=*/kind == ConfigKind::Cello, arch.chord_entries);
-
-  Accounting acc;
-  acc.arch = &arch;
-
-  // Realized-edge lookup for Cello's per-edge servicing.
-  std::vector<i64> pos(dag.ops().size());
-  for (size_t i = 0; i < sched.steps.size(); ++i) pos[sched.steps[i].op] = static_cast<i64>(i);
-  auto edge_between = [&](ir::OpId src, ir::OpId dst, ir::TensorId t) -> const ir::Edge* {
-    for (const auto& e : dag.edges())
-      if (e.src == src && e.dst == dst && e.tensor == t) return &e;
-    return nullptr;
-  };
-
-  // Effective residency: schedule binding, with hold-budget demotion.
-  std::vector<Residency> res = sched.residency;
-  for (const auto& t : dag.tensors())
-    if (res[t.id] == Residency::PipelineBuffer && !piped[t.id]) res[t.id] = Residency::Chord;
-
-  std::set<i32> rf_loaded;  // external RF-resident bases already fetched once
-
-  // Bases whose final version is a result must stay resident until the
-  // end-of-run drain instead of being retired at their last consumption.
-  std::set<i32> result_bases;
-  for (const auto& t : dag.tensors())
-    if (t.is_result) result_bases.insert(map.base_id(t.id));
-
-  auto meta_for = [&](const ir::TensorDesc& t, i64 step) {
-    chord::TensorMeta m;
-    m.id = map.base_id(t.id);
-    m.name = map.of(t.id).base;
-    m.start_addr = map.of(t.id).start;
-    m.bytes = t.bytes();
-    m.remaining_uses = reuse.remaining_after(m.id, step);
-    m.next_use_distance = reuse.next_distance(m.id, step);
-    return m;
-  };
-
-  // Per-pipeline-group timing accumulators.  Group structure per config:
-  // Cello/FLAT/SET join consecutive steps linked by an on-chip serviced edge;
-  // everything else is op-by-op.
-  std::vector<double> group_compute, group_dram;
-  i32 cur_group = -1;
-
-  u64 sram_lines = 0;  // explicit-buffer staging accesses (non-CHORD configs)
-
-  for (size_t i = 0; i < sched.steps.size(); ++i) {
-    const ir::EinsumOp& op = dag.op(sched.steps[i].op);
-    const i64 step = static_cast<i64>(i);
-
-    bool joined = false;
-    if (i > 0 && arch.pipeline_style == PipelineStyle::Parallel &&
-        (kind == ConfigKind::Flat || kind == ConfigKind::Set || kind == ConfigKind::Cello)) {
-      for (const auto& e : dag.edges()) {
-        if (e.src != sched.steps[i - 1].op || e.dst != sched.steps[i].op) continue;
-        const bool onchip = (kind == ConfigKind::Cello) ? sched.edge_realized[e.id]
-                                                        : piped[e.tensor];
-        if (onchip) joined = true;
-      }
-    }
-    if (!joined) {
-      group_compute.push_back(0);
-      group_dram.push_back(0);
-      ++cur_group;
-    }
-    group_compute[cur_group] += arch.compute_seconds(op.macs());
-    acc.metrics.total_macs += op.macs();
-
-    Bytes op_dram = 0;
-
-    // ---- inputs ----
-    std::set<ir::TensorId> seen;
-    for (ir::TensorId in : op.inputs) {
-      if (!seen.insert(in).second) continue;  // same tensor used twice (R^T R)
-      const ir::TensorDesc& t = dag.tensor(in);
-      const Bytes b = t.bytes();
-      const std::string& base = map.of(in).base;
-
-      switch (kind) {
-        case ConfigKind::Flexagon:
-          acc.add_dram_read(b, base);
-          op_dram += b;
-          sram_lines += b / arch.line_bytes + 1;
-          break;
-        case ConfigKind::Flat:
-        case ConfigKind::Set:
-          if (piped[in]) {
-            sram_lines += b / arch.line_bytes + 1;
-          } else {
-            acc.add_dram_read(b, base);
-            op_dram += b;
-            sram_lines += b / arch.line_bytes + 1;
-          }
-          break;
-        case ConfigKind::PreludeOnly: {
-          const auto r = chord_buf.read_tensor(meta_for(t, step));
-          acc.add_dram_read(r.dram_bytes, base);
-          op_dram += r.dram_bytes;
-          break;
-        }
-        case ConfigKind::Cello: {
-          const ir::Edge* e = nullptr;
-          if (auto p = dag.producer(in)) e = edge_between(*p, op.id, in);
-          if (e != nullptr && sched.edge_realized[e->id]) {
-            sram_lines += b / arch.line_bytes + 1;  // pipeline buffer
-            break;
-          }
-          if (res[in] == Residency::RegisterFile) {
-            // Externals cost one cold fetch; on-chip-produced stay in the RF.
-            if (!dag.producer(in).has_value() && rf_loaded.insert(map.base_id(in)).second) {
-              acc.add_dram_read(b, base);
-              op_dram += b;
-            }
-            break;
-          }
-          const auto r = chord_buf.read_tensor(meta_for(t, step));
-          acc.add_dram_read(r.dram_bytes, base);
-          op_dram += r.dram_bytes;
-          break;
-        }
-        case ConfigKind::FlexLru:
-        case ConfigKind::FlexBrrip:
-          CELLO_CHECK_MSG(false, "cache configs use the trace-driven path");
-      }
-    }
-
-    // ---- output ----
-    {
-      const ir::TensorDesc& t = dag.tensor(op.output);
-      const Bytes b = t.bytes();
-      const std::string& base = map.of(op.output).base;
-      const bool has_consumers = !dag.consumers(op.output).empty();
-
-      switch (kind) {
-        case ConfigKind::Flexagon:
-          acc.add_dram_write(b, base);
-          op_dram += b;
-          sram_lines += b / arch.line_bytes + 1;
-          break;
-        case ConfigKind::Flat:
-        case ConfigKind::Set:
-          if (piped[op.output]) {
-            sram_lines += b / arch.line_bytes + 1;
-          } else {
-            acc.add_dram_write(b, base);
-            op_dram += b;
-            sram_lines += b / arch.line_bytes + 1;
-          }
-          break;
-        case ConfigKind::PreludeOnly: {
-          const auto r = chord_buf.write_tensor(meta_for(t, step));
-          acc.add_dram_write(r.dram_bytes, base);
-          op_dram += r.dram_bytes;
-          break;
-        }
-        case ConfigKind::Cello: {
-          if (!has_consumers) {
-            // SCORE knows liveness: results drain to memory, dead
-            // intermediates (e.g. the last iteration's P) are never written.
-            if (t.is_result) {
-              acc.add_dram_write(b, base);
-              op_dram += b;
-            }
-            break;
-          }
-          if (res[op.output] == Residency::RegisterFile) break;
-          if (res[op.output] == Residency::PipelineBuffer) {
-            sram_lines += b / arch.line_bytes + 1;
-            break;
-          }
-          const auto r = chord_buf.write_tensor(meta_for(t, step));
-          acc.add_dram_write(r.dram_bytes, base);
-          op_dram += r.dram_bytes;
-          break;
-        }
-        case ConfigKind::FlexLru:
-        case ConfigKind::FlexBrrip:
-          CELLO_CHECK(false);
-      }
-    }
-
-    acc.metrics.per_op.push_back({op.name, op.macs(), op_dram});
-
-    // ---- retirement: free CHORD space of bases with no further use ----
-    if (uses_chord) {
-      std::set<i32> bases;
-      for (ir::TensorId in : op.inputs) bases.insert(map.base_id(in));
-      for (i32 base : bases)
-        if (reuse.remaining_after(base, step) == 0 && !result_bases.count(base))
-          chord_buf.retire(base);
-    }
-
-    group_dram[cur_group] += arch.dram_seconds(op_dram);
-  }
-
-  // PRELUDE-only writes results through the SRAM; the resident portion still
-  // has to drain to memory at the end of the run (Cello already routed
-  // dead-end results straight to DRAM above).
-  if (kind == ConfigKind::PreludeOnly) {
-    Bytes drain = 0;
-    for (const auto& t : dag.tensors()) {
-      if (!t.is_result) continue;
-      const Bytes resident = chord_buf.resident_bytes(map.base_id(t.id));
-      drain += std::min<Bytes>(resident, t.bytes());
-      acc.add_dram_write(std::min<Bytes>(resident, t.bytes()), map.of(t.id).base);
-    }
-    group_compute.push_back(0);
-    group_dram.push_back(arch.dram_seconds(drain));
-  }
-
-  acc.finish_timing(group_compute, group_dram);
-  acc.metrics.dram_bytes = acc.metrics.dram_read_bytes + acc.metrics.dram_write_bytes;
-  acc.metrics.offchip_energy_pj =
-      static_cast<double>(acc.metrics.dram_bytes) * arch.dram_energy_pj_per_byte;
-
-  // On-chip energy: CHORD configurations pay data + metadata; explicit
-  // configurations stage through scratchpad-style buffers.
-  mem::SramModel sram({arch.sram_bytes, arch.line_bytes, arch.cache_associativity});
-  if (uses_chord) {
-    const auto& cs = chord_buf.stats();
-    const auto e = sram.access_energy(mem::BufferKind::Chord);
-    acc.metrics.sram_line_accesses = cs.sram_read_lines + cs.sram_write_lines;
-    acc.metrics.onchip_energy_pj =
-        static_cast<double>(acc.metrics.sram_line_accesses) * e.data_pj +
-        static_cast<double>(cs.metadata_reads) * e.metadata_pj;
-  } else {
-    const auto e = sram.access_energy(mem::BufferKind::Scratchpad);
-    acc.metrics.sram_line_accesses = sram_lines;
-    acc.metrics.onchip_energy_pj = static_cast<double>(sram_lines) * e.data_pj;
-  }
-  return acc.metrics;
-}
-
-/// ---------------------------------------------------------------------------
-/// Trace-driven cache configurations: Flex+LRU, Flex+BRRIP.
-/// ---------------------------------------------------------------------------
-RunMetrics simulate_cache(const ir::TensorDag& dag, ConfigKind kind,
-                          const AcceleratorConfig& arch, const Schedule& sched,
-                          const sparse::CsrMatrix* matrix) {
-  const AddressMap map = AddressMap::build(dag);
-  cache::SetAssocCache cache_sim(arch.sram_bytes, arch.line_bytes, arch.cache_associativity,
-                                 kind == ConfigKind::FlexLru ? cache::Policy::Lru
-                                                             : cache::Policy::Brrip);
-
-  Accounting acc;
-  acc.arch = &arch;
-  std::vector<double> group_compute, group_dram;
-
-  constexpr i64 kChunkRows = 512;
-
-  for (size_t i = 0; i < sched.steps.size(); ++i) {
-    const ir::EinsumOp& op = dag.op(sched.steps[i].op);
-    group_compute.push_back(arch.compute_seconds(op.macs()));
-    acc.metrics.total_macs += op.macs();
-    const Bytes dram_before = cache_sim.stats().dram_bytes();
-
-    // Identify the sparse operand (if any) and split the rest by size.
-    const ir::TensorDesc* sparse_in = nullptr;
-    std::vector<const ir::TensorDesc*> large_in, small_in;
-    std::set<ir::TensorId> seen;
-    for (ir::TensorId in : op.inputs) {
-      if (!seen.insert(in).second) continue;
-      const ir::TensorDesc& t = dag.tensor(in);
-      if (t.storage == ir::Storage::CompressedSparse)
-        sparse_in = &t;
-      else if (t.bytes() > arch.rf_bytes)
-        large_in.push_back(&t);
-      else
-        small_in.push_back(&t);
-    }
-    const ir::TensorDesc& out = dag.tensor(op.output);
-
-    // The op's iteration space along the large (row) dimension.
-    i64 rows = 1;
-    for (const auto& r : op.ranks) rows = std::max(rows, r.size);
-    if (sparse_in == nullptr && large_in.empty() && out.bytes() <= arch.rf_bytes) rows = 1;
-
-    auto row_bytes = [&](const ir::TensorDesc& t) -> Bytes {
-      const i64 r = t.dims.empty() ? 1 : t.dims.front();
-      return std::max<Bytes>(1, t.bytes() / std::max<i64>(1, r));
-    };
-
-    for (i64 r0 = 0; r0 < rows; r0 += kChunkRows) {
-      const i64 r1 = std::min(rows, r0 + kChunkRows);
-
-      if (sparse_in != nullptr) {
-        // CSR segment of the chunk: values + columns stream sequentially.
-        const Addr a_start = map.of(sparse_in->id).start;
-        Bytes seg_off = 0, seg_len = 0;
-        if (matrix != nullptr && matrix->rows() == rows) {
-          const i64 k0 = matrix->row_ptr()[r0], k1 = matrix->row_ptr()[r1];
-          seg_off = static_cast<Bytes>(k0) * 8;
-          seg_len = static_cast<Bytes>(k1 - k0) * 8;
-        } else {
-          const Bytes per_row = sparse_in->bytes() / std::max<i64>(1, rows);
-          seg_off = static_cast<Bytes>(r0) * per_row;
-          seg_len = static_cast<Bytes>(r1 - r0) * per_row;
-        }
-        cache_sim.access_range(a_start + seg_off, seg_len, false);
-
-        // Gather the dense operand rows indexed by the chunk's non-zeros.
-        if (!large_in.empty()) {
-          const ir::TensorDesc& dense = *large_in.front();
-          const Addr d_start = map.of(dense.id).start;
-          const Bytes rb = row_bytes(dense);
-          if (matrix != nullptr && matrix->rows() == rows) {
-            for (i64 r = r0; r < r1; ++r)
-              for (i64 k = matrix->row_ptr()[r]; k < matrix->row_ptr()[r + 1]; ++k)
-                cache_sim.access_range(d_start + static_cast<Bytes>(matrix->col_idx()[k]) * rb,
-                                       rb, false);
-          } else {
-            // Synthetic banded gather when no matrix is supplied.
-            const i64 occ = std::max<i64>(1, sparse_in->nnz / std::max<i64>(1, rows));
-            for (i64 r = r0; r < r1; ++r)
-              for (i64 k = 0; k < occ; ++k) {
-                const i64 c = std::min<i64>(rows - 1, std::max<i64>(0, r + k - occ / 2));
-                cache_sim.access_range(d_start + static_cast<Bytes>(c) * rb, rb, false);
-              }
-          }
-        }
-      } else {
-        for (const auto* t : large_in) {
-          const Bytes rb = row_bytes(*t);
-          cache_sim.access_range(map.of(t->id).start + static_cast<Bytes>(r0) * rb,
-                                 static_cast<Bytes>(r1 - r0) * rb, false);
-        }
-      }
-
-      // Small operands re-streamed per chunk (they hit once resident).
-      for (const auto* t : small_in)
-        cache_sim.access_range(map.of(t->id).start, t->bytes(), false);
-
-      // Output chunk: skewed outputs stream; small outputs accumulate (RMW).
-      if (out.bytes() > arch.rf_bytes) {
-        const Bytes rb = row_bytes(out);
-        cache_sim.access_range(map.of(out.id).start + static_cast<Bytes>(r0) * rb,
-                               static_cast<Bytes>(r1 - r0) * rb, true);
-      } else {
-        cache_sim.access_range(map.of(out.id).start, out.bytes(), true);
-      }
-    }
-
-    const Bytes op_dram = cache_sim.stats().dram_bytes() - dram_before;
-    group_dram.push_back(arch.dram_seconds(op_dram));
-    acc.metrics.per_op.push_back({op.name, op.macs(), op_dram});
-  }
-
-  // Drain dirty lines at the end of the run.
-  const Bytes before_flush = cache_sim.stats().dram_bytes();
-  cache_sim.flush();
-  group_compute.push_back(0);
-  group_dram.push_back(arch.dram_seconds(cache_sim.stats().dram_bytes() - before_flush));
-
-  acc.finish_timing(group_compute, group_dram);
-  const auto& cs = cache_sim.stats();
-  acc.metrics.dram_read_bytes = cs.dram_read_bytes;
-  acc.metrics.dram_write_bytes = cs.dram_write_bytes;
-  acc.metrics.dram_bytes = cs.dram_bytes();
-  acc.metrics.offchip_energy_pj =
-      static_cast<double>(acc.metrics.dram_bytes) * arch.dram_energy_pj_per_byte;
-  mem::SramModel sram({arch.sram_bytes, arch.line_bytes, arch.cache_associativity});
-  const auto e = sram.access_energy(mem::BufferKind::Cache);
-  acc.metrics.sram_line_accesses = cs.data_accesses;
-  acc.metrics.onchip_energy_pj = static_cast<double>(cs.data_accesses) * e.data_pj +
-                                 static_cast<double>(cs.tag_lookups) * e.tag_pj;
-  return acc.metrics;
-}
-
-}  // namespace
 
 RunMetrics simulate(const ir::TensorDag& dag, ConfigKind kind, const AcceleratorConfig& arch,
                     const sparse::CsrMatrix* matrix) {
-  const Schedule sched = make_schedule(dag, kind, arch);
-  if (kind == ConfigKind::FlexLru || kind == ConfigKind::FlexBrrip)
-    return simulate_cache(dag, kind, arch, sched, matrix);
-  return simulate_analytic(dag, kind, arch, sched);
+  return Simulator(arch, matrix).run(dag, ConfigRegistry::preset(kind));
 }
 
 }  // namespace cello::sim

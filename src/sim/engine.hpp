@@ -1,6 +1,7 @@
-// The Cello evaluation engine: plays a scheduled tensor DAG against one of
-// the Table IV schedule/buffer configurations and reports runtime, traffic
-// and energy.
+// Legacy enum-based entry points, kept as thin shims over the composable API
+// (sim::Configuration + sim::ConfigRegistry + sim::Simulator — see
+// sim/simulator.hpp).  Each ConfigKind resolves to the identically named
+// registry preset; new code should use the Simulator directly.
 //
 // Analytic configurations (Flexagon, FLAT, SET, PRELUDE-only, Cello) account
 // traffic at tensor granularity per scheduled op — faithful because the

@@ -1,0 +1,100 @@
+// BufferPolicy: the on-chip buffer hierarchy half of a sim::Configuration.
+//
+// A policy services the operand accesses the schedule routes to it (see
+// Router) and owns the corresponding on-chip energy model.  Two servicing
+// styles exist:
+//  * analytic (tensor granularity): ExplicitBuffers, PreludeOnly, Chord —
+//    read_tensor / write_tensor are called once per routed operand;
+//  * trace-driven (cache-line granularity): LruCache, BrripCache —
+//    service_op replays the whole op's access trace, including the SpMM
+//    gather pattern against the real sparse matrix when provided.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chord/chord.hpp"
+#include "ir/dag.hpp"
+#include "sim/address_map.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "sparse/csr.hpp"
+
+namespace cello::sim {
+
+/// DRAM traffic incurred by one serviced access (or one whole op for
+/// trace-driven policies).
+struct BufferService {
+  Bytes dram_read = 0;
+  Bytes dram_write = 0;
+
+  Bytes total() const { return dram_read + dram_write; }
+};
+
+/// Everything a trace-driven policy needs to replay one scheduled op.
+struct OpTrace {
+  const ir::TensorDag* dag = nullptr;
+  const ir::EinsumOp* op = nullptr;
+  const AddressMap* map = nullptr;
+  const sparse::CsrMatrix* matrix = nullptr;  ///< real sparsity; may be null
+  /// Unique inputs routed to this policy, in operand order (the schedule may
+  /// service the others on chip).
+  std::vector<ir::TensorId> inputs;
+  bool service_output = true;  ///< false when the output stays on chip
+};
+
+struct DrainContext {
+  const ir::TensorDag* dag = nullptr;
+  const AddressMap* map = nullptr;
+  /// True when the schedule already routed final results straight to DRAM
+  /// (SCORE), leaving nothing resident to drain.
+  bool results_written_through = false;
+};
+
+/// One per-base-tensor slice of the end-of-run drain.  An empty base name
+/// contributes drain timing without per-tensor attribution (cache flush).
+struct DrainItem {
+  std::string base;
+  Bytes dram_write = 0;
+};
+
+class BufferPolicy {
+ public:
+  virtual ~BufferPolicy() = default;
+
+  virtual const char* name() const = 0;
+  virtual bool trace_driven() const { return false; }
+
+  // ---- analytic interface (tensor granularity) -----------------------------
+  virtual BufferService read_tensor(const chord::TensorMeta&) { return {}; }
+  virtual BufferService write_tensor(const chord::TensorMeta&) { return {}; }
+  /// The base tensor's last consumer ran: release any residency it held.
+  virtual void retire(i32 /*base_id*/) {}
+
+  // ---- trace-driven interface (op granularity) -----------------------------
+  virtual BufferService service_op(const OpTrace&) { return {}; }
+
+  /// Drain still-resident state (dirty lines, resident result prefixes) at
+  /// the end of the run.  nullopt = no drain stage for this policy.
+  virtual std::optional<std::vector<DrainItem>> drain(const DrainContext&) {
+    return std::nullopt;
+  }
+
+  /// Fill the on-chip side of the metrics (sram_line_accesses,
+  /// onchip_energy_pj) and, for trace-driven policies, fold in the
+  /// authoritative DRAM totals.  `pipeline_sram_lines` counts the pipeline
+  /// buffer staging accesses issued by the simulator itself.
+  virtual void finalize(const AcceleratorConfig& arch, u64 pipeline_sram_lines,
+                        RunMetrics& m) const = 0;
+};
+
+/// Configurations hold a factory, not an instance: every run gets a fresh,
+/// independently stateful policy (which is what makes SweepRunner's parallel
+/// fan-out safe).
+using BufferPolicyFactory =
+    std::function<std::unique_ptr<BufferPolicy>(const AcceleratorConfig&)>;
+
+}  // namespace cello::sim

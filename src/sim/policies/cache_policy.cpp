@@ -1,0 +1,144 @@
+#include "sim/policies/cache_policy.hpp"
+
+#include <algorithm>
+
+#include "mem/sram_model.hpp"
+
+namespace cello::sim {
+
+BufferService CachePolicy::service_op(const OpTrace& trace) {
+  const ir::TensorDag& dag = *trace.dag;
+  const ir::EinsumOp& op = *trace.op;
+  const AddressMap& map = *trace.map;
+  const sparse::CsrMatrix* matrix = trace.matrix;
+
+  const Bytes read_before = cache_.stats().dram_read_bytes;
+  const Bytes write_before = cache_.stats().dram_write_bytes;
+
+  constexpr i64 kChunkRows = 512;
+
+  // Identify the sparse operand (if any) and split the rest by size.
+  const ir::TensorDesc* sparse_in = nullptr;
+  std::vector<const ir::TensorDesc*> large_in, small_in;
+  for (ir::TensorId in : trace.inputs) {
+    const ir::TensorDesc& t = dag.tensor(in);
+    if (t.storage == ir::Storage::CompressedSparse)
+      sparse_in = &t;
+    else if (t.bytes() > arch_.rf_bytes)
+      large_in.push_back(&t);
+    else
+      small_in.push_back(&t);
+  }
+  const ir::TensorDesc& out = dag.tensor(op.output);
+
+  // The op's iteration space along the large (row) dimension.
+  i64 rows = 1;
+  for (const auto& r : op.ranks) rows = std::max(rows, r.size);
+  if (sparse_in == nullptr && large_in.empty() && out.bytes() <= arch_.rf_bytes) rows = 1;
+
+  auto row_bytes = [&](const ir::TensorDesc& t) -> Bytes {
+    const i64 r = t.dims.empty() ? 1 : t.dims.front();
+    return std::max<Bytes>(1, t.bytes() / std::max<i64>(1, r));
+  };
+
+  for (i64 r0 = 0; r0 < rows; r0 += kChunkRows) {
+    const i64 r1 = std::min(rows, r0 + kChunkRows);
+
+    if (sparse_in != nullptr) {
+      // CSR segment of the chunk: values + columns stream sequentially.
+      const Addr a_start = map.of(sparse_in->id).start;
+      Bytes seg_off = 0, seg_len = 0;
+      if (matrix != nullptr && matrix->rows() == rows) {
+        const i64 k0 = matrix->row_ptr()[r0], k1 = matrix->row_ptr()[r1];
+        seg_off = static_cast<Bytes>(k0) * 8;
+        seg_len = static_cast<Bytes>(k1 - k0) * 8;
+      } else {
+        const Bytes per_row = sparse_in->bytes() / std::max<i64>(1, rows);
+        seg_off = static_cast<Bytes>(r0) * per_row;
+        seg_len = static_cast<Bytes>(r1 - r0) * per_row;
+      }
+      cache_.access_range(a_start + seg_off, seg_len, false);
+
+      // Gather the dense operand rows indexed by the chunk's non-zeros.
+      if (!large_in.empty()) {
+        const ir::TensorDesc& dense = *large_in.front();
+        const Addr d_start = map.of(dense.id).start;
+        const Bytes rb = row_bytes(dense);
+        if (matrix != nullptr && matrix->rows() == rows) {
+          for (i64 r = r0; r < r1; ++r)
+            for (i64 k = matrix->row_ptr()[r]; k < matrix->row_ptr()[r + 1]; ++k)
+              cache_.access_range(d_start + static_cast<Bytes>(matrix->col_idx()[k]) * rb, rb,
+                                  false);
+        } else {
+          // Synthetic banded gather when no matrix is supplied.
+          const i64 occ = std::max<i64>(1, sparse_in->nnz / std::max<i64>(1, rows));
+          for (i64 r = r0; r < r1; ++r)
+            for (i64 k = 0; k < occ; ++k) {
+              const i64 c = std::min<i64>(rows - 1, std::max<i64>(0, r + k - occ / 2));
+              cache_.access_range(d_start + static_cast<Bytes>(c) * rb, rb, false);
+            }
+        }
+      }
+    } else {
+      for (const auto* t : large_in) {
+        const Bytes rb = row_bytes(*t);
+        cache_.access_range(map.of(t->id).start + static_cast<Bytes>(r0) * rb,
+                            static_cast<Bytes>(r1 - r0) * rb, false);
+      }
+    }
+
+    // Small operands re-streamed per chunk (they hit once resident).
+    for (const auto* t : small_in)
+      cache_.access_range(map.of(t->id).start, t->bytes(), false);
+
+    // Output chunk: skewed outputs stream; small outputs accumulate (RMW).
+    if (trace.service_output) {
+      if (out.bytes() > arch_.rf_bytes) {
+        const Bytes rb = row_bytes(out);
+        cache_.access_range(map.of(out.id).start + static_cast<Bytes>(r0) * rb,
+                            static_cast<Bytes>(r1 - r0) * rb, true);
+      } else {
+        cache_.access_range(map.of(out.id).start, out.bytes(), true);
+      }
+    }
+  }
+
+  return {.dram_read = cache_.stats().dram_read_bytes - read_before,
+          .dram_write = cache_.stats().dram_write_bytes - write_before};
+}
+
+std::optional<std::vector<DrainItem>> CachePolicy::drain(const DrainContext&) {
+  const Bytes before = cache_.stats().dram_bytes();
+  cache_.flush();
+  return std::vector<DrainItem>{{std::string(), cache_.stats().dram_bytes() - before}};
+}
+
+void CachePolicy::finalize(const AcceleratorConfig& arch, u64 /*pipeline_sram_lines*/,
+                           RunMetrics& m) const {
+  const auto& cs = cache_.stats();
+  // The cache's line-granularity accounting is authoritative for the traffic
+  // it serviced; fold it into whatever the schedule moved directly (register
+  // file cold fetches, SCORE result drains).
+  m.dram_read_bytes += cs.dram_read_bytes;
+  m.dram_write_bytes += cs.dram_write_bytes;
+  m.dram_bytes = m.dram_read_bytes + m.dram_write_bytes;
+  mem::SramModel sram({arch.sram_bytes, arch.line_bytes, arch.cache_associativity});
+  const auto e = sram.access_energy(mem::BufferKind::Cache);
+  m.sram_line_accesses = cs.data_accesses;
+  m.onchip_energy_pj = static_cast<double>(cs.data_accesses) * e.data_pj +
+                       static_cast<double>(cs.tag_lookups) * e.tag_pj;
+}
+
+BufferPolicyFactory lru_cache() {
+  return [](const AcceleratorConfig& arch) {
+    return std::make_unique<CachePolicy>(arch, cache::Policy::Lru);
+  };
+}
+
+BufferPolicyFactory brrip_cache() {
+  return [](const AcceleratorConfig& arch) {
+    return std::make_unique<CachePolicy>(arch, cache::Policy::Brrip);
+  };
+}
+
+}  // namespace cello::sim

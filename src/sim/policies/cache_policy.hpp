@@ -1,0 +1,43 @@
+// CachePolicy: the implicit-buffer baselines (Flex+LRU, Flex+BRRIP) behind
+// the BufferPolicy interface.  Trace-driven at cache-line granularity: every
+// routed op is replayed as a chunked access stream, including the SpMM
+// gather pattern against the real sparse matrix when one is provided.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "sim/policies/buffer_policy.hpp"
+
+namespace cello::sim {
+
+class CachePolicy final : public BufferPolicy {
+ public:
+  CachePolicy(const AcceleratorConfig& arch, cache::Policy replacement)
+      : arch_(arch),
+        replacement_(replacement),
+        cache_(arch.sram_bytes, arch.line_bytes, arch.cache_associativity, replacement) {}
+
+  const char* name() const override {
+    return replacement_ == cache::Policy::Lru ? "LRU" : "BRRIP";
+  }
+  bool trace_driven() const override { return true; }
+
+  BufferService service_op(const OpTrace& trace) override;
+
+  /// End-of-run flush of dirty lines.
+  std::optional<std::vector<DrainItem>> drain(const DrainContext& ctx) override;
+
+  void finalize(const AcceleratorConfig& arch, u64 pipeline_sram_lines,
+                RunMetrics& m) const override;
+
+  const cache::SetAssocCache& cache() const { return cache_; }
+
+ private:
+  AcceleratorConfig arch_;
+  cache::Policy replacement_;
+  cache::SetAssocCache cache_;
+};
+
+BufferPolicyFactory lru_cache();
+BufferPolicyFactory brrip_cache();
+
+}  // namespace cello::sim

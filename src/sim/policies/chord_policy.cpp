@@ -1,0 +1,54 @@
+#include "sim/policies/chord_policy.hpp"
+
+#include <algorithm>
+
+#include "mem/sram_model.hpp"
+
+namespace cello::sim {
+
+BufferService ChordPolicy::read_tensor(const chord::TensorMeta& t) {
+  const auto r = buf_.read_tensor(t);
+  return {.dram_read = r.dram_bytes, .dram_write = 0};
+}
+
+BufferService ChordPolicy::write_tensor(const chord::TensorMeta& t) {
+  const auto r = buf_.write_tensor(t);
+  return {.dram_read = 0, .dram_write = r.dram_bytes};
+}
+
+std::optional<std::vector<DrainItem>> ChordPolicy::drain(const DrainContext& ctx) {
+  // Under SCORE the schedule wrote final results straight to DRAM as they
+  // died; nothing resident needs draining.
+  if (ctx.results_written_through) return std::nullopt;
+  // Results written through the buffer keep a resident prefix that still has
+  // to reach memory at the end of the run.
+  std::vector<DrainItem> items;
+  for (const auto& t : ctx.dag->tensors()) {
+    if (!t.is_result) continue;
+    const Bytes resident = buf_.resident_bytes(ctx.map->base_id(t.id));
+    items.push_back({ctx.map->of(t.id).base, std::min<Bytes>(resident, t.bytes())});
+  }
+  return items;
+}
+
+void ChordPolicy::finalize(const AcceleratorConfig& arch, u64 /*pipeline_sram_lines*/,
+                           RunMetrics& m) const {
+  // CHORD pays data-array plus RIFF-index-table metadata energy; the pipeline
+  // buffer's staging lines are part of the datapath, not the CHORD array.
+  mem::SramModel sram({arch.sram_bytes, arch.line_bytes, arch.cache_associativity});
+  const auto e = sram.access_energy(mem::BufferKind::Chord);
+  const auto& cs = buf_.stats();
+  m.sram_line_accesses = cs.sram_read_lines + cs.sram_write_lines;
+  m.onchip_energy_pj = static_cast<double>(m.sram_line_accesses) * e.data_pj +
+                       static_cast<double>(cs.metadata_reads) * e.metadata_pj;
+}
+
+BufferPolicyFactory chord_buffer() {
+  return [](const AcceleratorConfig& arch) { return std::make_unique<ChordPolicy>(arch, true); };
+}
+
+BufferPolicyFactory prelude_only() {
+  return [](const AcceleratorConfig& arch) { return std::make_unique<ChordPolicy>(arch, false); };
+}
+
+}  // namespace cello::sim

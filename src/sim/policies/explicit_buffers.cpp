@@ -1,0 +1,31 @@
+#include "sim/policies/explicit_buffers.hpp"
+
+#include "mem/sram_model.hpp"
+
+namespace cello::sim {
+
+BufferService ExplicitBuffersPolicy::read_tensor(const chord::TensorMeta& t) {
+  sram_lines_ += t.bytes / arch_.line_bytes + 1;
+  return {.dram_read = t.bytes, .dram_write = 0};
+}
+
+BufferService ExplicitBuffersPolicy::write_tensor(const chord::TensorMeta& t) {
+  sram_lines_ += t.bytes / arch_.line_bytes + 1;
+  return {.dram_read = 0, .dram_write = t.bytes};
+}
+
+void ExplicitBuffersPolicy::finalize(const AcceleratorConfig& arch, u64 pipeline_sram_lines,
+                                     RunMetrics& m) const {
+  mem::SramModel sram({arch.sram_bytes, arch.line_bytes, arch.cache_associativity});
+  const auto e = sram.access_energy(mem::BufferKind::Scratchpad);
+  m.sram_line_accesses = sram_lines_ + pipeline_sram_lines;
+  m.onchip_energy_pj = static_cast<double>(m.sram_line_accesses) * e.data_pj;
+}
+
+BufferPolicyFactory explicit_buffers() {
+  return [](const AcceleratorConfig& arch) {
+    return std::make_unique<ExplicitBuffersPolicy>(arch);
+  };
+}
+
+}  // namespace cello::sim

@@ -1,0 +1,61 @@
+// Schedule policies: how a configuration orders ops and which producer ->
+// consumer edges it services on chip.
+//
+// The policy is orthogonal to the buffer hierarchy (see BufferPolicy): a
+// Configuration pairs one of each.  The Router turns a policy plus a built
+// SCORE schedule into per-operand routing decisions the simulator executes.
+#pragma once
+
+#include <vector>
+
+#include "ir/dag.hpp"
+#include "score/schedule.hpp"
+#include "sim/config.hpp"
+
+namespace cello::sim {
+
+enum class SchedulePolicy {
+  OpByOp,            ///< no pipelining: every op begins and ends in the buffer hierarchy
+  AdjacentPipeline,  ///< tensor-level pipelining of realized producer/consumer chains
+                     ///< (FLAT; SET when delayed holds are allowed)
+  Score,             ///< SCORE: per-edge servicing + residency classes (register
+                     ///< file / pipeline buffer / CHORD / DRAM)
+};
+
+const char* to_string(SchedulePolicy p);
+
+/// Where one operand access is serviced.
+enum class Route {
+  PipelineBuffer,  ///< on-chip pipeline buffer (producer/consumer chaining)
+  RegisterFile,    ///< small-tensor register file (externals pay one cold fetch)
+  Buffer,          ///< the configuration's BufferPolicy
+  DirectDram,      ///< bypass the hierarchy (SCORE draining a final result)
+  Discard,         ///< dead output SCORE proves is never needed again
+};
+
+/// Per-run routing oracle: binds a SchedulePolicy to one DAG + schedule.
+class Router {
+ public:
+  Router(const ir::TensorDag& dag, const score::Schedule& sched, SchedulePolicy policy,
+         bool allow_delayed_hold, const AcceleratorConfig& arch);
+
+  Route route_input(const ir::EinsumOp& op, ir::TensorId in) const;
+  Route route_output(const ir::EinsumOp& op) const;
+
+  /// True when an edge between two consecutively scheduled ops is serviced on
+  /// chip — the steps then share a pipeline timing group.
+  bool linked_onchip(ir::OpId prev, ir::OpId cur) const;
+  bool pipelines() const { return policy_ != SchedulePolicy::OpByOp; }
+
+  /// Tensors serviced entirely by the pipeline buffer (tensor-level view).
+  const std::vector<bool>& pipelined() const { return piped_; }
+
+ private:
+  const ir::TensorDag& dag_;
+  const score::Schedule& sched_;
+  SchedulePolicy policy_;
+  std::vector<bool> piped_;              ///< per TensorId
+  std::vector<score::Residency> res_;    ///< per TensorId, after hold-budget demotion
+};
+
+}  // namespace cello::sim

@@ -1,0 +1,251 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "sim/address_map.hpp"
+#include "sim/policies/schedule_policy.hpp"
+#include "sim/registry.hpp"
+
+namespace cello::sim {
+
+namespace {
+
+using score::Schedule;
+
+/// Per-base-tensor reuse bookkeeping: the union of the use positions of every
+/// per-iteration instance sharing the base buffer.
+struct BaseReuse {
+  std::vector<std::vector<i64>> uses;  ///< per base id, sorted step positions
+
+  static BaseReuse build(const ir::TensorDag& dag, const Schedule& sched, const AddressMap& map) {
+    BaseReuse r;
+    r.uses.assign(map.entries.size(), {});
+    for (const auto& t : dag.tensors())
+      for (i64 p : sched.use_positions[t.id]) r.uses[map.base_id(t.id)].push_back(p);
+    for (auto& u : r.uses) std::sort(u.begin(), u.end());
+    return r;
+  }
+
+  i32 remaining_after(i32 base, i64 pos) const {
+    const auto& u = uses[base];
+    return static_cast<i32>(u.end() - std::upper_bound(u.begin(), u.end(), pos));
+  }
+  i64 next_distance(i32 base, i64 pos) const {
+    const auto& u = uses[base];
+    auto it = std::upper_bound(u.begin(), u.end(), pos);
+    return it == u.end() ? -1 : *it - pos;
+  }
+};
+
+}  // namespace
+
+AcceleratorConfig Simulator::effective_arch(const Configuration& config) const {
+  AcceleratorConfig arch = arch_;
+  if (config.pipeline_style) arch.pipeline_style = *config.pipeline_style;
+  if (config.hold_budget_bytes) arch.hold_budget_bytes = *config.hold_budget_bytes;
+  return arch;
+}
+
+score::Schedule Simulator::make_schedule(const ir::TensorDag& dag,
+                                         const Configuration& config) const {
+  const AcceleratorConfig arch = effective_arch(config);
+  score::ScheduleOptions opts;
+  opts.rf_bytes = arch.rf_bytes;
+  opts.enable_pipelining = config.schedule != SchedulePolicy::OpByOp;
+  return score::build_schedule(dag, opts);
+}
+
+RunMetrics Simulator::run(const ir::TensorDag& dag, const std::string& config_name) const {
+  return run(dag, ConfigRegistry::global().at(config_name));
+}
+
+RunMetrics Simulator::run(const ir::TensorDag& dag, ConfigKind kind) const {
+  return run(dag, ConfigRegistry::preset(kind));
+}
+
+RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config) const {
+  CELLO_CHECK_MSG(static_cast<bool>(config.buffers),
+                  "configuration '" << config.name << "' has no buffer policy factory");
+  const AcceleratorConfig arch = effective_arch(config);
+  const Schedule sched = make_schedule(dag, config);
+  const AddressMap map = AddressMap::build(dag);
+  const BaseReuse reuse = BaseReuse::build(dag, sched, map);
+  const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
+  const std::unique_ptr<BufferPolicy> policy = config.buffers(arch);
+  const bool trace = policy->trace_driven();
+
+  RunMetrics metrics;
+
+  auto attribute_read = [&](Bytes b, const std::string& base) {
+    metrics.dram_read_bytes += b;
+    metrics.traffic_by_tensor[base] += b;
+  };
+  auto attribute_write = [&](Bytes b, const std::string& base) {
+    metrics.dram_write_bytes += b;
+    metrics.traffic_by_tensor[base] += b;
+  };
+
+  auto meta_for = [&](const ir::TensorDesc& t, i64 step) {
+    chord::TensorMeta m;
+    m.id = map.base_id(t.id);
+    m.name = map.of(t.id).base;
+    m.start_addr = map.of(t.id).start;
+    m.bytes = t.bytes();
+    m.remaining_uses = reuse.remaining_after(m.id, step);
+    m.next_use_distance = reuse.next_distance(m.id, step);
+    return m;
+  };
+
+  // External register-file-resident bases already fetched once.
+  std::set<i32> rf_loaded;
+
+  // Bases whose final version is a result stay resident until the
+  // end-of-run drain instead of being retired at their last consumption.
+  std::set<i32> result_bases;
+  for (const auto& t : dag.tensors())
+    if (t.is_result) result_bases.insert(map.base_id(t.id));
+
+  // Per-pipeline-group timing accumulators: consecutive steps linked by an
+  // on-chip serviced edge share a group (Parallel pipeline style only);
+  // everything else is op-by-op.
+  std::vector<double> group_compute, group_dram;
+  i32 cur_group = -1;
+
+  u64 pipeline_sram_lines = 0;  ///< pipeline-buffer staging accesses
+
+  for (size_t i = 0; i < sched.steps.size(); ++i) {
+    const ir::EinsumOp& op = dag.op(sched.steps[i].op);
+    const i64 step = static_cast<i64>(i);
+
+    bool joined = false;
+    if (i > 0 && arch.pipeline_style == PipelineStyle::Parallel && router.pipelines())
+      joined = router.linked_onchip(sched.steps[i - 1].op, sched.steps[i].op);
+    if (!joined) {
+      group_compute.push_back(0);
+      group_dram.push_back(0);
+      ++cur_group;
+    }
+    group_compute[cur_group] += arch.compute_seconds(op.macs());
+    metrics.total_macs += op.macs();
+
+    Bytes op_dram = 0;
+    OpTrace op_trace;  // filled only for trace-driven policies
+
+    // ---- inputs ----
+    std::set<ir::TensorId> seen;
+    for (ir::TensorId in : op.inputs) {
+      if (!seen.insert(in).second) continue;  // same tensor used twice (R^T R)
+      const ir::TensorDesc& t = dag.tensor(in);
+      const Bytes b = t.bytes();
+      const std::string& base = map.of(in).base;
+
+      switch (router.route_input(op, in)) {
+        case Route::PipelineBuffer:
+          pipeline_sram_lines += b / arch.line_bytes + 1;
+          break;
+        case Route::RegisterFile:
+          // Externals cost one cold fetch; on-chip-produced stay in the RF.
+          if (!dag.producer(in).has_value() && rf_loaded.insert(map.base_id(in)).second) {
+            attribute_read(b, base);
+            op_dram += b;
+          }
+          break;
+        case Route::Buffer:
+          if (trace) {
+            op_trace.inputs.push_back(in);
+          } else {
+            const BufferService s = policy->read_tensor(meta_for(t, step));
+            if (s.dram_read > 0) attribute_read(s.dram_read, base);
+            if (s.dram_write > 0) attribute_write(s.dram_write, base);
+            op_dram += s.total();
+          }
+          break;
+        case Route::DirectDram:
+        case Route::Discard:
+          break;  // not produced by route_input
+      }
+    }
+
+    // ---- output ----
+    const Route out_route = router.route_output(op);
+    {
+      const ir::TensorDesc& t = dag.tensor(op.output);
+      const Bytes b = t.bytes();
+      const std::string& base = map.of(op.output).base;
+
+      switch (out_route) {
+        case Route::PipelineBuffer:
+          pipeline_sram_lines += b / arch.line_bytes + 1;
+          break;
+        case Route::RegisterFile:
+        case Route::Discard:
+          break;
+        case Route::DirectDram:
+          attribute_write(b, base);
+          op_dram += b;
+          break;
+        case Route::Buffer:
+          if (!trace) {
+            const BufferService s = policy->write_tensor(meta_for(t, step));
+            if (s.dram_read > 0) attribute_read(s.dram_read, base);
+            if (s.dram_write > 0) attribute_write(s.dram_write, base);
+            op_dram += s.total();
+          }
+          break;
+      }
+    }
+
+    if (trace) {
+      op_trace.dag = &dag;
+      op_trace.op = &op;
+      op_trace.map = &map;
+      op_trace.matrix = matrix_;
+      op_trace.service_output = out_route == Route::Buffer;
+      op_dram += policy->service_op(op_trace).total();
+    }
+
+    metrics.per_op.push_back({op.name, op.macs(), op_dram});
+
+    // ---- retirement: free buffer space of bases with no further use ----
+    {
+      std::set<i32> bases;
+      for (ir::TensorId in : op.inputs) bases.insert(map.base_id(in));
+      for (i32 base : bases)
+        if (reuse.remaining_after(base, step) == 0 && !result_bases.count(base))
+          policy->retire(base);
+    }
+
+    group_dram[cur_group] += arch.dram_seconds(op_dram);
+  }
+
+  // ---- end-of-run drain (resident result prefixes / dirty cache lines) ----
+  {
+    DrainContext ctx;
+    ctx.dag = &dag;
+    ctx.map = &map;
+    ctx.results_written_through = config.schedule == SchedulePolicy::Score;
+    if (auto items = policy->drain(ctx)) {
+      Bytes drained = 0;
+      for (const auto& item : *items) {
+        drained += item.dram_write;
+        // Empty base = timing only; the policy's finalize() owns the totals.
+        if (!item.base.empty()) attribute_write(item.dram_write, item.base);
+      }
+      group_compute.push_back(0);
+      group_dram.push_back(arch.dram_seconds(drained));
+    }
+  }
+
+  for (size_t g = 0; g < group_compute.size(); ++g)
+    metrics.seconds += std::max(group_compute[g], group_dram[g]);
+  metrics.dram_bytes = metrics.dram_read_bytes + metrics.dram_write_bytes;
+
+  policy->finalize(arch, pipeline_sram_lines, metrics);
+  metrics.offchip_energy_pj =
+      static_cast<double>(metrics.dram_bytes) * arch.dram_energy_pj_per_byte;
+  return metrics;
+}
+
+}  // namespace cello::sim

@@ -1,0 +1,52 @@
+// sim::Simulator: owns the accelerator architecture plus the (optional) real
+// sparse-matrix context and evaluates a DAG under any sim::Configuration.
+//
+//   sim::Simulator simulator(arch, &matrix);
+//   auto cello = simulator.run(dag, sim::ConfigRegistry::global().at("Cello"));
+//   auto novel = simulator.run(dag, "SCORE+LRU");   // registry lookup
+//
+// One unified loop serves every configuration: the Router (schedule policy)
+// decides where each operand access is serviced and the BufferPolicy models
+// the buffer hierarchy.  Analytic policies account traffic at tensor
+// granularity per scheduled op; trace-driven cache policies replay a
+// line-granularity access trace.  run() is const and reentrant — a fresh
+// BufferPolicy is built per run — which is what SweepRunner exploits.
+#pragma once
+
+#include "ir/dag.hpp"
+#include "score/schedule.hpp"
+#include "sim/config.hpp"
+#include "sim/configuration.hpp"
+#include "sim/metrics.hpp"
+#include "sparse/csr.hpp"
+
+namespace cello::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(AcceleratorConfig arch, const sparse::CsrMatrix* matrix = nullptr)
+      : arch_(arch), matrix_(matrix) {}
+
+  /// Evaluate one configuration.
+  RunMetrics run(const ir::TensorDag& dag, const Configuration& config) const;
+  /// Convenience: resolve `config_name` in the global ConfigRegistry (throws
+  /// cello::Error for unknown names).
+  RunMetrics run(const ir::TensorDag& dag, const std::string& config_name) const;
+  /// Legacy Table IV enum entry point.
+  RunMetrics run(const ir::TensorDag& dag, ConfigKind kind) const;
+
+  /// The schedule the configuration's schedule policy would build.
+  score::Schedule make_schedule(const ir::TensorDag& dag, const Configuration& config) const;
+
+  /// Architecture after applying the configuration's knob overrides.
+  AcceleratorConfig effective_arch(const Configuration& config) const;
+
+  const AcceleratorConfig& arch() const { return arch_; }
+  const sparse::CsrMatrix* matrix() const { return matrix_; }
+
+ private:
+  AcceleratorConfig arch_;
+  const sparse::CsrMatrix* matrix_;
+};
+
+}  // namespace cello::sim

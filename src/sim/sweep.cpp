@@ -1,0 +1,61 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace cello::sim {
+
+std::vector<SweepResult> SweepRunner::run(const std::vector<SweepWorkload>& workloads,
+                                          const std::vector<Configuration>& configs,
+                                          const AcceleratorConfig& arch) const {
+  const size_t total = workloads.size() * configs.size();
+  std::vector<SweepResult> out(total);
+  if (total == 0) return out;
+
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&]() {
+    for (size_t job; (job = next.fetch_add(1)) < total;) {
+      const size_t wi = job / configs.size();
+      const size_t ci = job % configs.size();
+      const SweepWorkload& wl = workloads[wi];
+      try {
+        const Simulator simulator(arch, wl.matrix);
+        out[job] = {wl.name, configs[ci].name, simulator.run(wl.dag, configs[ci])};
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  u32 n = threads_ != 0 ? threads_ : std::thread::hardware_concurrency();
+  n = std::max<u32>(1, std::min<u32>(n, static_cast<u32>(total)));
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (u32 t = 0; t + 1 < n; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is the n-th worker
+  for (auto& th : pool) th.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+std::vector<SweepResult> SweepRunner::run(const std::vector<SweepWorkload>& workloads,
+                                          const std::vector<std::string>& config_names,
+                                          const AcceleratorConfig& arch) const {
+  std::vector<Configuration> configs;
+  configs.reserve(config_names.size());
+  for (const auto& name : config_names) configs.push_back(ConfigRegistry::global().at(name));
+  return run(workloads, configs, arch);
+}
+
+}  // namespace cello::sim

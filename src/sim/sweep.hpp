@@ -1,0 +1,54 @@
+// SweepRunner: fan a {workloads} x {configurations} grid across a
+// std::thread pool.  Results come back in deterministic row-major order
+// (workload-major, configuration-minor) regardless of thread scheduling, and
+// every cell is bit-identical to a serial Simulator::run — each run gets its
+// own freshly constructed BufferPolicy, so cells share no mutable state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/dag.hpp"
+#include "sim/config.hpp"
+#include "sim/configuration.hpp"
+#include "sim/metrics.hpp"
+#include "sparse/csr.hpp"
+
+namespace cello::sim {
+
+struct SweepWorkload {
+  std::string name;
+  ir::TensorDag dag;
+  const sparse::CsrMatrix* matrix = nullptr;  ///< real sparsity; may be null
+};
+
+struct SweepResult {
+  std::string workload;
+  std::string config;
+  RunMetrics metrics;
+};
+
+class SweepRunner {
+ public:
+  /// @param threads  worker count; 0 = std::thread::hardware_concurrency().
+  explicit SweepRunner(u32 threads = 0) : threads_(threads) {}
+
+  /// Run every workload under every configuration.  Result i*configs+j holds
+  /// workload i under configuration j.  The first exception thrown by any
+  /// cell is rethrown after all workers finish.
+  std::vector<SweepResult> run(const std::vector<SweepWorkload>& workloads,
+                               const std::vector<Configuration>& configs,
+                               const AcceleratorConfig& arch) const;
+
+  /// Convenience: resolve configuration names in the global ConfigRegistry.
+  std::vector<SweepResult> run(const std::vector<SweepWorkload>& workloads,
+                               const std::vector<std::string>& config_names,
+                               const AcceleratorConfig& arch) const;
+
+  u32 threads() const { return threads_; }
+
+ private:
+  u32 threads_;
+};
+
+}  // namespace cello::sim

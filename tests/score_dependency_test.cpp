@@ -237,9 +237,10 @@ TEST(ClassifyScheduled, DistantEdgesNeverPipelineable) {
   const auto order = dag.topo_order();
   const auto cls = score::classify_scheduled(dag, order);
   for (const auto& e : dag.edges()) {
-    if (dag.schedule_distance(e, order) > 1)
+    if (dag.schedule_distance(e, order) > 1) {
       EXPECT_NE(cls.edge_kind[e.id], DepKind::Pipelineable)
           << dag.op(e.src).name << " -> " << dag.op(e.dst).name;
+    }
   }
 }
 

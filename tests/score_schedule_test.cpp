@@ -87,13 +87,16 @@ TEST(Schedule, CgResidencyBinding) {
   for (const auto& t : dag.tensors()) {
     const std::string base = workloads::base_name(t.name);
     if (base == "Delta" || base == "Lambda" || base == "Gamma" || base == "Phi") {
-      if (!dag.consumers(t.id).empty())
+      if (!dag.consumers(t.id).empty()) {
         EXPECT_EQ(s.residency[t.id], Residency::RegisterFile) << t.name;
+      }
     }
-    if ((base == "S" || base == "R") && !dag.consumers(t.id).empty())
+    if ((base == "S" || base == "R") && !dag.consumers(t.id).empty()) {
       EXPECT_EQ(s.residency[t.id], Residency::Chord) << t.name;
-    if (base == "X" && !dag.consumers(t.id).empty())
+    }
+    if (base == "X" && !dag.consumers(t.id).empty()) {
       EXPECT_EQ(s.residency[t.id], Residency::Chord) << t.name;
+    }
   }
 }
 
@@ -116,9 +119,11 @@ TEST(Schedule, ResNetAllEdgesRealized) {
   const auto s = score::build_schedule(dag);
   for (const auto& e : dag.edges()) EXPECT_TRUE(s.edge_realized[e.id]);
   // Feature maps live in the pipeline buffer.
-  for (const auto& t : dag.tensors())
-    if (t.name == "T0" || t.name == "T1")
+  for (const auto& t : dag.tensors()) {
+    if (t.name == "T0" || t.name == "T1") {
       EXPECT_EQ(s.residency[t.id], Residency::PipelineBuffer) << t.name;
+    }
+  }
 }
 
 TEST(Schedule, PipeliningOffDemotesEverything) {

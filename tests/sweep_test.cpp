@@ -1,0 +1,99 @@
+// Tests for the parallel SweepRunner: deterministic ordering and
+// bit-identical agreement with serial execution.
+#include <gtest/gtest.h>
+
+#include "cello/cello.hpp"
+#include "common/error.hpp"
+#include "sparse/datasets.hpp"
+#include "workloads/cg.hpp"
+#include "workloads/gnn.hpp"
+
+namespace {
+
+using namespace cello;
+using sim::AcceleratorConfig;
+using sim::ConfigRegistry;
+using sim::Simulator;
+using sim::SweepRunner;
+using sim::SweepWorkload;
+
+std::vector<SweepWorkload> two_workloads() {
+  std::vector<SweepWorkload> w;
+  w.push_back({"cg", workloads::build_cg_dag({9604, 16, 85264, 3, 4})});
+  w.push_back({"gnn", workloads::build_gnn_dag({1000, 5000, 64, 16})});
+  return w;
+}
+
+TEST(Sweep, MatchesSerialRunAllBitIdentical) {
+  const auto workloads_vec = two_workloads();
+  const auto& config_names = ConfigRegistry::table4_names();
+  const AcceleratorConfig arch;
+
+  const auto cells = SweepRunner(/*threads=*/4).run(workloads_vec, config_names, arch);
+  ASSERT_EQ(cells.size(), workloads_vec.size() * config_names.size());
+
+  for (size_t wi = 0; wi < workloads_vec.size(); ++wi) {
+    // Serial reference: the facade's run_all over the same workload.
+    const auto serial = run_all(workloads_vec[wi].dag, arch);
+    ASSERT_EQ(serial.size(), config_names.size());
+    for (size_t ci = 0; ci < config_names.size(); ++ci) {
+      const auto& cell = cells[wi * config_names.size() + ci];
+      EXPECT_EQ(cell.workload, workloads_vec[wi].name);
+      EXPECT_EQ(cell.config, config_names[ci]);
+      EXPECT_EQ(cell.config, serial[ci].first);
+      EXPECT_EQ(cell.metrics.seconds, serial[ci].second.seconds) << cell.config;
+      EXPECT_EQ(cell.metrics.dram_bytes, serial[ci].second.dram_bytes) << cell.config;
+      EXPECT_EQ(cell.metrics.onchip_energy_pj, serial[ci].second.onchip_energy_pj)
+          << cell.config;
+      EXPECT_EQ(cell.metrics.sram_line_accesses, serial[ci].second.sram_line_accesses)
+          << cell.config;
+    }
+  }
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  const auto workloads_vec = two_workloads();
+  const std::vector<std::string> config_names = {"Flexagon", "Cello", "SCORE+LRU",
+                                                 "FLAT+CHORD"};
+  const AcceleratorConfig arch;
+  const auto serial = SweepRunner(/*threads=*/1).run(workloads_vec, config_names, arch);
+  const auto parallel = SweepRunner(/*threads=*/5).run(workloads_vec, config_names, arch);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].workload, parallel[i].workload);
+    EXPECT_EQ(serial[i].config, parallel[i].config);
+    EXPECT_EQ(serial[i].metrics.seconds, parallel[i].metrics.seconds) << serial[i].config;
+    EXPECT_EQ(serial[i].metrics.dram_bytes, parallel[i].metrics.dram_bytes)
+        << serial[i].config;
+  }
+}
+
+TEST(Sweep, SharedMatrixContextIsSafeAcrossThreads) {
+  const auto spec = sparse::dataset_by_name("fv1");
+  const auto matrix = sparse::instantiate(spec);
+  std::vector<SweepWorkload> w;
+  w.push_back({"cg", workloads::build_cg_dag({spec.rows, 16, matrix.nnz(), 2, 4}), &matrix});
+  const AcceleratorConfig arch;
+  const std::vector<std::string> config_names = {"Flex+LRU", "Flex+BRRIP", "Cello"};
+  const auto cells = SweepRunner(/*threads=*/3).run(w, config_names, arch);
+  for (size_t ci = 0; ci < config_names.size(); ++ci) {
+    const auto reference = Simulator(arch, &matrix).run(w[0].dag, config_names[ci]);
+    EXPECT_EQ(cells[ci].metrics.dram_bytes, reference.dram_bytes) << config_names[ci];
+    EXPECT_EQ(cells[ci].metrics.seconds, reference.seconds) << config_names[ci];
+  }
+}
+
+TEST(Sweep, EmptyGridIsEmpty) {
+  const AcceleratorConfig arch;
+  EXPECT_TRUE(SweepRunner().run({}, std::vector<sim::Configuration>{}, arch).empty());
+}
+
+TEST(Sweep, CellErrorsPropagateAfterJoin) {
+  auto workloads_vec = two_workloads();
+  sim::Configuration broken;  // no buffer factory: Simulator::run throws
+  broken.name = "broken";
+  const AcceleratorConfig arch;
+  EXPECT_THROW(SweepRunner(/*threads=*/2).run(workloads_vec, {broken}, arch), Error);
+}
+
+}  // namespace

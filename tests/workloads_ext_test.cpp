@@ -39,8 +39,9 @@ TEST(GnnMultilayer, IntraLayerEdgesPipeline) {
   const auto cls = score::classify_scheduled(dag, dag.topo_order());
   for (const auto& e : dag.edges()) {
     const auto& src = dag.op(e.src).name;
-    if (src.starts_with("aggregate"))
+    if (src.starts_with("aggregate")) {
       EXPECT_EQ(cls.edge_kind[e.id], DepKind::Pipelineable) << src;
+    }
   }
 }
 

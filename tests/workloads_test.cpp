@@ -118,10 +118,12 @@ TEST(BiCgStabDag, DotsAreContracted) {
   const auto dag = workloads::build_bicgstab_dag(s);
   for (const auto& op : dag.ops()) {
     if (op.name.starts_with("rho") || op.name.starts_with("alpha") ||
-        op.name.starts_with("omega"))
+        op.name.starts_with("omega")) {
       EXPECT_EQ(op.dominance(), ir::Dominance::Contracted) << op.name;
-    if (op.name.starts_with("spmv"))
+    }
+    if (op.name.starts_with("spmv")) {
       EXPECT_EQ(op.dominance(), ir::Dominance::Uncontracted) << op.name;
+    }
   }
 }
 
@@ -161,8 +163,11 @@ TEST(ResNetDag, SixteenBitWords) {
 
 TEST(ResNetDag, Conv2WindowMacs) {
   const auto dag = workloads::build_resnet_block_dag({});
-  for (const auto& op : dag.ops())
-    if (op.name == "conv2") EXPECT_EQ(op.macs(), 784 * 128 * 9 * 128);
+  for (const auto& op : dag.ops()) {
+    if (op.name == "conv2") {
+      EXPECT_EQ(op.macs(), 784 * 128 * 9 * 128);
+    }
+  }
 }
 
 }  // namespace
