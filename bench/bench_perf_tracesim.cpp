@@ -1,0 +1,81 @@
+// Trace-driven simulation throughput (the Fig. 16(b) shape): CG on
+// shallow_water1 and a ResNet conv3_x block pushed through the cache-backed
+// Table IV baselines (Flex+LRU, Flex+BRRIP) at several SRAM capacities, plus
+// Cello as the analytic-policy reference point.
+//
+// These are the configurations whose wall time bounds every sweep in the
+// repo, so this binary seeds the perf trajectory: bench/run_bench.sh runs it
+// and writes BENCH_tracesim.json, which future PRs diff against.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/cg.hpp"
+#include "workloads/resnet.hpp"
+
+namespace {
+
+using namespace cello;
+
+const sparse::CsrMatrix& shallow_water_matrix() {
+  static const sparse::CsrMatrix m =
+      sparse::instantiate(sparse::dataset_by_name("shallow_water1"));
+  return m;
+}
+
+const ir::TensorDag& cg_dag() {
+  static const ir::TensorDag dag = [] {
+    const auto& spec = sparse::dataset_by_name("shallow_water1");
+    auto shape = bench::cg_shape_for(spec, 16, /*iterations=*/5);
+    shape.nnz = shallow_water_matrix().nnz();
+    return workloads::build_cg_dag(shape);
+  }();
+  return dag;
+}
+
+const ir::TensorDag& resnet_dag() {
+  static const ir::TensorDag dag = workloads::build_resnet_block_dag({});
+  return dag;
+}
+
+void run_config(benchmark::State& state, const ir::TensorDag& dag,
+                const sparse::CsrMatrix* matrix, const char* config_name) {
+  const auto arch =
+      bench::table5_config(1e12, static_cast<Bytes>(state.range(0)) * 1024 * 1024);
+  const sim::Simulator simulator(arch, matrix);
+  const sim::Configuration& config = sim::ConfigRegistry::global().at(config_name);
+  Bytes dram_bytes = 0;
+  for (auto _ : state) {
+    const sim::RunMetrics m = simulator.run(dag, config);
+    dram_bytes = m.dram_bytes;
+    benchmark::DoNotOptimize(dram_bytes);
+  }
+  state.counters["dram_bytes"] =
+      benchmark::Counter(static_cast<double>(dram_bytes));
+}
+
+void BM_CgFlexLru(benchmark::State& s) {
+  run_config(s, cg_dag(), &shallow_water_matrix(), "Flex+LRU");
+}
+void BM_CgFlexBrrip(benchmark::State& s) {
+  run_config(s, cg_dag(), &shallow_water_matrix(), "Flex+BRRIP");
+}
+void BM_ResnetFlexLru(benchmark::State& s) { run_config(s, resnet_dag(), nullptr, "Flex+LRU"); }
+void BM_ResnetFlexBrrip(benchmark::State& s) {
+  run_config(s, resnet_dag(), nullptr, "Flex+BRRIP");
+}
+void BM_CgCello(benchmark::State& s) {
+  run_config(s, cg_dag(), &shallow_water_matrix(), "Cello");
+}
+
+}  // namespace
+
+// SRAM capacity in MiB — the Fig. 16(b) sweep points.
+BENCHMARK(BM_CgFlexLru)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CgFlexBrrip)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ResnetFlexLru)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ResnetFlexBrrip)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CgCello)->Arg(4)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Build the release preset, run the trace-sim throughput benchmark, and write
+# BENCH_tracesim.json at the repo root.  If bench/baseline_tracesim.json
+# exists (the pre-optimization recording), each benchmark also gets a
+# baseline_ms and speedup column so PRs can quote the delta directly.
+#
+# Usage: bench/run_bench.sh [extra google-benchmark args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cmake --preset release >/dev/null
+cmake --build --preset release --target bench_perf_tracesim -j "$(nproc)"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+# Median of 3 repetitions: single-shot numbers swing with machine noise.
+./build-release/bench_perf_tracesim \
+  --benchmark_repetitions=3 \
+  --benchmark_out="$raw" --benchmark_out_format=json "$@"
+
+python3 - "$raw" "$repo/bench/baseline_tracesim.json" "$repo/BENCH_tracesim.json" <<'EOF'
+import json, sys, os
+
+raw_path, baseline_path, out_path = sys.argv[1:4]
+raw = json.load(open(raw_path))
+
+baseline = {}
+if os.path.exists(baseline_path):
+    for b in json.load(open(baseline_path)).get("benchmarks", []):
+        baseline[b["name"]] = b["real_time_ms"]
+
+medians = [b for b in raw.get("benchmarks", [])
+           if b.get("run_type") == "aggregate" and b.get("aggregate_name") == "median"]
+if not medians:  # single-repetition runs have no aggregates
+    medians = [b for b in raw.get("benchmarks", []) if b.get("run_type") == "iteration"]
+
+benchmarks = []
+for b in medians:
+    assert b["time_unit"] == "ms", b
+    name = b["run_name"] if "run_name" in b else b["name"]
+    entry = {
+        "name": name,
+        "real_time_ms": round(b["real_time"], 3),
+        "cpu_time_ms": round(b["cpu_time"], 3),
+    }
+    if "dram_bytes" in b:
+        entry["dram_bytes"] = int(b["dram_bytes"])
+    if name in baseline:
+        entry["baseline_ms"] = baseline[name]
+        entry["speedup"] = round(baseline[name] / b["real_time"], 2)
+    benchmarks.append(entry)
+
+out = {
+    "generated_by": "bench/run_bench.sh",
+    "benchmark": "bench_perf_tracesim",
+    "context": {k: raw["context"].get(k) for k in ("host_name", "num_cpus", "library_version")},
+    "benchmarks": benchmarks,
+}
+# Aggregate speedup over the cache-bound rows (Flex+LRU / Flex+BRRIP).
+cache_bound = [e["speedup"] for e in benchmarks
+               if "speedup" in e and ("FlexLru" in e["name"] or "FlexBrrip" in e["name"])]
+if cache_bound:
+    import math
+    out["speedup_geomean_cache_bound"] = round(
+        math.exp(sum(math.log(s) for s in cache_bound) / len(cache_bound)), 2)
+json.dump(out, open(out_path, "w"), indent=2)
+print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+for e in benchmarks:
+    s = f"  {e['name']:<28} {e['real_time_ms']:>10.3f} ms"
+    if "speedup" in e:
+        s += f"   ({e['speedup']}x vs baseline {e['baseline_ms']} ms)"
+    print(s)
+EOF

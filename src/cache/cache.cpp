@@ -1,8 +1,20 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/error.hpp"
 
 namespace cello::cache {
+
+namespace {
+
+bool avx2_disabled_by_env() {
+  const char* e = std::getenv("CELLO_DISABLE_AVX2");
+  return e != nullptr && *e != '\0' && *e != '0';
+}
+
+}  // namespace
 
 const char* to_string(Policy p) {
   switch (p) {
@@ -19,99 +31,245 @@ SetAssocCache::SetAssocCache(Bytes capacity, u32 line_bytes, u32 associativity, 
   CELLO_CHECK_MSG(lines % assoc_ == 0, "capacity not divisible into sets");
   sets_ = lines / assoc_;
   CELLO_CHECK(sets_ > 0);
-  ways_.resize(sets_ * assoc_);
+  fast8_ = assoc_ == 8;
+#if defined(CELLO_HAVE_AVX2)
+  simd_ = fast8_ && __builtin_cpu_supports("avx2") && !avx2_disabled_by_env();
+#else
+  (void)avx2_disabled_by_env;
+#endif
+  if (std::has_single_bit(line_bytes_))
+    line_shift_ = static_cast<i32>(std::countr_zero(line_bytes_));
+  if (std::has_single_bit(sets_)) {
+    set_shift_ = static_cast<i32>(std::countr_zero(sets_));
+    set_mask_ = sets_ - 1;
+  }
+  if (fast8_) {
+    tags32_.assign(sets_ * assoc_, kInvalidTag32);
+    // LRU keeps recency + dirty in the rank words; only BRRIP needs the
+    // meta byte lane.  Any initial permutation works for the ranks (fills
+    // re-promote in fill order); the identity keeps it readable.
+    if (policy_ == Policy::Lru)
+      lru_rank_.assign(sets_, 0x0706050403020100ull);
+    else
+      meta_.assign(sets_ * assoc_, 3);  // clean, RRPV distant
+  } else {
+    tags_.assign(sets_ * assoc_, kInvalidTag);
+    meta_.assign(sets_ * assoc_, 3);
+    if (policy_ == Policy::Lru) lru_stamp_.assign(sets_ * assoc_, 0);
+  }
+  mru_way_.assign(sets_, 0);
 }
 
-size_t SetAssocCache::victim_in_set(u64 set) {
-  Way* base = &ways_[set * assoc_];
+// ---- generic path: any associativity ---------------------------------------
+
+size_t SetAssocCache::victim_in_set_generic(u64 set) {
+  const u64* tags = &tags_[set * assoc_];
   // Invalid way first.
   for (u32 w = 0; w < assoc_; ++w)
-    if (!base[w].valid) return w;
+    if (tags[w] == kInvalidTag) return w;
 
   if (policy_ == Policy::Lru) {
+    const u64* stamps = &lru_stamp_[set * assoc_];
     size_t victim = 0;
     for (u32 w = 1; w < assoc_; ++w)
-      if (base[w].lru_stamp < base[victim].lru_stamp) victim = w;
+      if (stamps[w] < stamps[victim]) victim = w;
     return victim;
   }
   // BRRIP: evict the first way predicted "distant" (RRPV==3); if none, age
   // the whole set and rescan — guaranteed to terminate within 3 rounds.
+  u8* meta = &meta_[set * assoc_];
   for (;;) {
     for (u32 w = 0; w < assoc_; ++w)
-      if (base[w].rrpv == 3) return w;
-    for (u32 w = 0; w < assoc_; ++w) ++base[w].rrpv;
+      if ((meta[w] & kRrpvMask) == 3) return w;
+    for (u32 w = 0; w < assoc_; ++w) ++meta[w];
   }
 }
 
-void SetAssocCache::access(Addr addr, bool is_write) {
+bool SetAssocCache::touch_line_generic(u64 set, u64 tag, bool is_write) {
+  ++clock_;
+  const size_t base = set * assoc_;
+  u64* tags = &tags_[base];
+  const u8 dirty = is_write ? kDirtyBit : 0;
+
+  // MRU probe first, then the associativity-wide scan: a tag lives in at
+  // most one way, so the probe order cannot change the hit/miss outcome.
+  // (A tag match implies validity: empty ways hold kInvalidTag.)
+  u32 w = mru_way_[set];
+  if (tags[w] != tag) {
+    u32 found = assoc_;
+    for (u32 i = 0; i < assoc_; ++i)
+      if (tags[i] == tag) {
+        found = i;
+        break;
+      }
+    if (found == assoc_) {
+      // Miss: allocate (write-allocate for stores too).
+      ++stats_.misses;
+      stats_.dram_read_bytes += line_bytes_;
+      const size_t v = victim_in_set_generic(set);
+      if (tags[v] != kInvalidTag) {
+        ++stats_.evictions;
+        if (meta_[base + v] & kDirtyBit) {
+          ++stats_.writebacks;
+          stats_.dram_write_bytes += line_bytes_;
+        }
+      }
+      u8 rrpv = 2;
+      if (policy_ == Policy::Brrip) {
+        // Bimodal insertion: distant (3) most of the time, long (2) every
+        // 32nd fill — deterministic counter in place of the paper's epsilon
+        // dice.
+        rrpv = (++brrip_insert_counter_ % 32 == 0) ? 2 : 3;
+      } else {
+        lru_stamp_[base + v] = clock_;
+      }
+      tags[v] = tag;
+      meta_[base + v] = dirty | rrpv;
+      mru_way_[set] = static_cast<u32>(v);
+      return false;
+    }
+    w = found;
+    mru_way_[set] = w;
+  }
+
+  // Hit: refresh recency, predict near-immediate re-reference, absorb write.
+  if (policy_ == Policy::Lru) lru_stamp_[base + w] = clock_;
+  meta_[base + w] = (meta_[base + w] & kDirtyBit) | dirty;
+  return true;
+}
+
+void SetAssocCache::check_tag32(u64 tag) const {
+  CELLO_CHECK_MSG(tag < kInvalidTag32,
+                  "address space too large for the compact 8-way tag lane");
+}
+
+// ---- 8-way fast path, scalar probe -----------------------------------------
+
+bool SetAssocCache::touch_line8(u64 set, u64 tag, bool is_write) {
+  const u32 tag32 = static_cast<u32>(tag);
+  const u32* tags = &tags32_[set * 8];
+
+  u32 w = mru_way_[set];
+  if (tags[w] != tag32) {
+    u32 found = 8;
+    for (u32 i = 0; i < 8; ++i)
+      if (tags[i] == tag32) {
+        found = i;
+        break;
+      }
+    if (found == 8) {
+      u32 invalid = 0;
+      for (u32 i = 0; i < 8; ++i)
+        if (tags[i] == kInvalidTag32) {
+          invalid = 1u << i;
+          break;
+        }
+      mru_way_[set] = fill8(set, tag32, invalid, is_write);
+      return false;
+    }
+    w = found;
+    mru_way_[set] = w;
+  }
+  hit_update8(set, w, is_write);
+  return true;
+}
+
+// ---- public access API ------------------------------------------------------
+
+void SetAssocCache::access(Addr addr, bool is_write) { access_line(line_of(addr), is_write); }
+
+void SetAssocCache::access_line(u64 line, bool is_write) {
   ++stats_.accesses;
   ++stats_.tag_lookups;
   ++stats_.data_accesses;
-  ++clock_;
+  const u64 set = set_of_line(line);
+  const u64 tag = tag_of_line(line);
+  if (fast8_) check_tag32(tag);
+  bool hit;
+#if defined(CELLO_HAVE_AVX2)
+  if (simd_)
+    hit = touch_line8_simd(set, tag, is_write);
+  else
+#endif
+    hit = fast8_ ? touch_line8(set, tag, is_write) : touch_line_generic(set, tag, is_write);
+  if (hit) ++stats_.hits;
+}
 
-  const u64 set = set_of(addr);
-  const u64 tag = tag_of(addr);
-  Way* base = &ways_[set * assoc_];
+void SetAssocCache::access_lines(u64 first_line, u64 count, bool is_write) {
+  if (count == 0) return;
+  // Tags only grow along the walk: checking the last line covers them all.
+  if (fast8_) check_tag32(tag_of_line(first_line + count - 1));
+#if defined(CELLO_HAVE_AVX2)
+  if (simd_) {
+    access_lines_simd(first_line, count, is_write);
+    return;
+  }
+#endif
+  stats_.accesses += count;
+  stats_.tag_lookups += count;
+  stats_.data_accesses += count;
 
-  for (u32 w = 0; w < assoc_; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      ++stats_.hits;
-      base[w].lru_stamp = clock_;
-      base[w].rrpv = 0;  // near-immediate re-reference on hit
-      base[w].dirty = base[w].dirty || is_write;
-      return;
-    }
-  }
-
-  // Miss: allocate (write-allocate for stores too).
-  ++stats_.misses;
-  stats_.dram_read_bytes += line_bytes_;
-  const size_t v = victim_in_set(set);
-  Way& way = base[v];
-  if (way.valid) {
-    ++stats_.evictions;
-    if (way.dirty) {
-      ++stats_.writebacks;
-      stats_.dram_write_bytes += line_bytes_;
-    }
-  }
-  way.valid = true;
-  way.tag = tag;
-  way.dirty = is_write;
-  way.lru_stamp = clock_;
-  if (policy_ == Policy::Brrip) {
-    // Bimodal insertion: distant (3) most of the time, long (2) every 32nd
-    // fill — deterministic counter in place of the paper's epsilon dice.
-    way.rrpv = (++brrip_insert_counter_ % 32 == 0) ? 2 : 3;
-  } else {
-    way.rrpv = 2;
-  }
+  if (fast8_)
+    stats_.hits += walk_lines(first_line, count, [&](u64 set, u64 tag) {
+      return touch_line8(set, tag, is_write);
+    });
+  else
+    stats_.hits += walk_lines(first_line, count, [&](u64 set, u64 tag) {
+      return touch_line_generic(set, tag, is_write);
+    });
 }
 
 void SetAssocCache::access_range(Addr addr, Bytes len, bool is_write) {
   if (len == 0) return;
-  const Addr first = addr / line_bytes_;
-  const Addr last = (addr + len - 1) / line_bytes_;
-  for (Addr line = first; line <= last; ++line) access(line * line_bytes_, is_write);
+  const u64 first = line_of(addr);
+  const u64 last = line_of(addr + len - 1);
+  access_lines(first, last - first + 1, is_write);
 }
 
 void SetAssocCache::flush() {
-  for (auto& w : ways_) {
-    if (w.valid && w.dirty) {
+  const size_t total = sets_ * assoc_;
+  const bool packed_lru = fast8_ && policy_ == Policy::Lru;
+  for (size_t i = 0; i < total; ++i) {
+    const bool valid = fast8_ ? tags32_[i] != kInvalidTag32 : tags_[i] != kInvalidTag;
+    const bool dirty = packed_lru ? ((lru_rank_[i >> 3] >> (8 * (i & 7))) & kRankDirty) != 0
+                                  : (meta_[i] & kDirtyBit) != 0;
+    if (valid && dirty) {
       ++stats_.writebacks;
       stats_.dram_write_bytes += line_bytes_;
     }
-    w = Way{};
   }
+  // Invalidation = resetting the tag lane; stale recency/RRPV metadata is
+  // never read before the next fill overwrites it (rank words stay
+  // permutations, and fills re-promote in fill order).
+  if (fast8_)
+    std::fill(tags32_.begin(), tags32_.end(), kInvalidTag32);
+  else
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(mru_way_.begin(), mru_way_.end(), 0u);
 }
 
-bool SetAssocCache::contains(Addr addr) const {
-  const u64 set = set_of(addr);
-  const u64 tag = tag_of(addr);
-  const Way* base = &ways_[set * assoc_];
+bool SetAssocCache::contains_line(u64 line) const {
+  const u64 tag = tag_of_line(line);
+  const u64 set = set_of_line(line);
+  if (fast8_) {
+    if (tag >= kInvalidTag32) return false;
+    const u32 tag32 = static_cast<u32>(tag);
+    const u32* tags = &tags32_[set * 8];
+    for (u32 w = 0; w < 8; ++w)
+      if (tags[w] == tag32) return true;
+    return false;
+  }
+  const u64* tags = &tags_[set * assoc_];
   for (u32 w = 0; w < assoc_; ++w)
-    if (base[w].valid && base[w].tag == tag) return true;
+    if (tags[w] == tag) return true;
   return false;
 }
+
+#if !defined(CELLO_HAVE_AVX2)
+// Stubs so the class links when the AVX2 translation unit is compiled out;
+// simd_ is never set in that configuration.
+bool SetAssocCache::touch_line8_simd(u64, u64, bool) { return false; }
+void SetAssocCache::access_lines_simd(u64, u64, bool) {}
+#endif
 
 }  // namespace cello::cache

@@ -4,8 +4,33 @@
 // Write-allocate, write-back.  Every access pays an associativity-wide tag
 // lookup (tracked for the Fig. 15 energy comparison); misses fill a line from
 // DRAM and dirty evictions write one back.
+//
+// The hot path is engineered for trace-driven throughput while staying
+// bit-identical to the straightforward model.  The default 8-way geometry
+// runs a compact struct-of-arrays layout sized to stay resident in the host
+// L2 even for multi-MiB simulated caches:
+//  * a u32 tag lane (validity folded in as a sentinel) — one 32-byte vector
+//    compare probes the whole set on AVX2 hosts (runtime dispatch, see
+//    cache_simd.cpp), a scalar early-exit scan elsewhere;
+//  * LRU recency as packed byte ranks, one u64 per set: promoting a way and
+//    finding the oldest are a handful of branchless SWAR ops instead of an
+//    associativity-wide stamp argmin over a second 64-byte lane;
+//  * BRRIP RRPVs packed next to the dirty bit in a byte lane; the victim
+//    search and the aging rounds are SWAR over one u64;
+//  * access_lines() walks consecutive lines by stepping the (set, tag) pair
+//    instead of re-decomposing each address, coalesces the per-access stats
+//    bumps into one update per run, and prefetch_range() lets trace-driven
+//    callers (the SpMM gather) hide metadata latency for irregular accesses.
+// Power-of-two line sizes and set counts use shift/mask addressing, and a
+// division/u64 fallback path covers every other geometry.
+//
+// Every layout and dispatch target makes identical replacement decisions, so
+// stats and metrics do not depend on the host CPU (set CELLO_DISABLE_AVX2=1
+// to force the scalar probe; tests assert the paths agree).
 #pragma once
 
+#include <bit>
+#include <cstring>
 #include <vector>
 
 #include "common/types.hpp"
@@ -45,10 +70,40 @@ class SetAssocCache {
   /// Access every line overlapping [addr, addr+len).
   void access_range(Addr addr, Bytes len, bool is_write);
 
+  // ---- line-granularity API (what trace-driven policies use) ---------------
+  /// The line index covering `addr`.
+  u64 line_of(Addr addr) const {
+    return line_shift_ >= 0 ? addr >> line_shift_ : addr / line_bytes_;
+  }
+  /// One access to line `line` (== access(line * line_bytes, w)).
+  void access_line(u64 line, bool is_write);
+  /// Access `count` consecutive lines starting at `first_line`, walking the
+  /// (set, tag) pair and coalescing the stats updates into one bump.
+  void access_lines(u64 first_line, u64 count, bool is_write);
+  /// Hint that [addr, addr+len) is about to be accessed: pulls the covering
+  /// sets' tag + recency lanes toward the host caches.  No simulated effect.
+  void prefetch_range(Addr addr, Bytes len) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (len == 0 || !fast8_) return;
+    const u64 first_set = set_of_line(line_of(addr));
+    const u64 last_set = set_of_line(line_of(addr + len - 1));
+    __builtin_prefetch(&tags32_[first_set * 8], 1, 1);
+    if (last_set != first_set) __builtin_prefetch(&tags32_[last_set * 8], 1, 1);
+    if (policy_ == Policy::Lru)
+      __builtin_prefetch(&lru_rank_[first_set], 1, 1);
+    else
+      __builtin_prefetch(&meta_[first_set * 8], 1, 1);
+#else
+    (void)addr;
+    (void)len;
+#endif
+  }
+
   /// Write back all dirty lines (end-of-run drain) and invalidate.
   void flush();
 
-  bool contains(Addr addr) const;
+  bool contains(Addr addr) const { return contains_line(line_of(addr)); }
+  bool contains_line(u64 line) const;
   const CacheStats& stats() const { return stats_; }
 
   u32 line_bytes() const { return line_bytes_; }
@@ -56,24 +111,185 @@ class SetAssocCache {
   u32 associativity() const { return assoc_; }
 
  private:
-  struct Way {
-    u64 tag = 0;
-    bool valid = false;
-    bool dirty = false;
-    u64 lru_stamp = 0;   ///< LRU
-    u32 rrpv = 3;        ///< BRRIP (2-bit re-reference prediction value)
-  };
+  /// Tag-lane sentinels for an empty way.  The 8-way fast path stores tags
+  /// as u32 and checks the bound per access: a simulated footprint would
+  /// need to exceed line_bytes * sets * 2^32 bytes (petabytes for any real
+  /// geometry) to collide.
+  static constexpr u64 kInvalidTag = ~0ull;
+  static constexpr u32 kInvalidTag32 = ~0u;
+  // meta_ byte layout (BRRIP + generic): bit 7 = dirty, bits 0..1 = RRPV.
+  static constexpr u8 kDirtyBit = 0x80;
+  static constexpr u8 kRrpvMask = 0x03;
+  static constexpr u64 kLane = 0x0101010101010101ull;   ///< 1 in every byte
+  static constexpr u64 kHigh = 0x8080808080808080ull;   ///< bit 7 of every byte
+  // lru_rank_ byte layout (8-way LRU): bits 0..2 = recency rank (0 = MRU),
+  // bit 6 = dirty — so a hit is a single read-modify-write of one u64.
+  static constexpr u64 kRankLanes = 0x0707070707070707ull;
+  static constexpr u64 kRankDirty = 0x40;
 
-  u64 set_of(Addr addr) const { return (addr / line_bytes_) % sets_; }
-  u64 tag_of(Addr addr) const { return (addr / line_bytes_) / sets_; }
-  size_t victim_in_set(u64 set);
+  u64 set_of_line(u64 line) const { return set_shift_ >= 0 ? line & set_mask_ : line % sets_; }
+  u64 tag_of_line(u64 line) const { return set_shift_ >= 0 ? line >> set_shift_ : line / sets_; }
+
+  // The per-line state machines: return true on hit.  They bump the
+  // per-event stats (misses, evictions, writebacks, DRAM bytes) immediately —
+  // policies read DRAM deltas mid-run — but leave accesses/hits/tag_lookups/
+  // data_accesses to the caller, which coalesces them over a whole run.
+  bool touch_line_generic(u64 set, u64 tag, bool is_write);  ///< any associativity
+  bool touch_line8(u64 set, u64 tag, bool is_write);         ///< 8-way, scalar probe
+  size_t victim_in_set_generic(u64 set);
+
+  // AVX2 twins, defined in cache_simd.cpp (built only when the compiler
+  // supports -mavx2; selected at runtime when the CPU does too).
+  bool touch_line8_simd(u64 set, u64 tag, bool is_write);
+  void access_lines_simd(u64 first_line, u64 count, bool is_write);
+
+  /// Walk `count` consecutive lines, calling touch(set, tag) for each and
+  /// returning the number of hits.  The single home of the wrap logic —
+  /// every access_lines variant (scalar fast8/generic, AVX2) walks through
+  /// here so the bit-identity-critical stepping cannot drift between them.
+  template <typename TouchFn>
+  u64 walk_lines(u64 first_line, u64 count, TouchFn&& touch) {
+    u64 hits = 0;
+    if (set_shift_ >= 0) {
+      // Power-of-two sets: branch-free (set, tag) from the running line.
+      for (u64 line = first_line; line < first_line + count; ++line)
+        hits += touch(line & set_mask_, line >> set_shift_) ? 1 : 0;
+    } else {
+      u64 set = set_of_line(first_line);
+      u64 tag = tag_of_line(first_line);
+      for (u64 i = 0; i < count; ++i) {
+        hits += touch(set, tag) ? 1 : 0;
+        // The next consecutive line: sets advance round-robin; the tag
+        // bumps on each wrap (line = tag * sets + set).
+        if (++set == sets_) {
+          set = 0;
+          ++tag;
+        }
+      }
+    }
+    return hits;
+  }
+
+  /// Promote way `w` to MRU in a packed rank word: every byte ranked more
+  /// recently (value < rank[w]) ages by one, then rank[w] becomes 0.  Ranks
+  /// stay a permutation of 0..7, so LRU order is total and the victim is
+  /// unique — exactly the recency order a per-way stamp would give.  The
+  /// per-byte dirty bits ride along untouched: the +1 lands in bytes whose
+  /// rank is <= 6, so it never carries past bit 2.
+  static void rank_promote(u64& ranks, u32 w) {
+    const u64 r = (ranks >> (8 * w)) & kRankLanes & 0xFF;
+    const u64 geq = ((ranks & kRankLanes) | kHigh) - r * kLane;  // bit7 iff rank >= r
+    ranks += (~geq & kHigh) >> 7;                                // +1 where rank < r
+    ranks &= ~(kRankLanes & (0xFFull << (8 * w)));               // way w -> rank 0 (MRU)
+  }
+
+  /// Index of the unique byte whose rank equals `value` in a packed rank
+  /// word.  Borrows in the zero-byte detect only propagate upward, so the
+  /// lowest flagged byte is the (unique) zero.
+  static u32 rank_find(u64 ranks, u64 value) {
+    const u64 x = (ranks & kRankLanes) ^ (value * kLane);
+    const u64 z = (x - kLane) & ~x & kHigh;
+    return static_cast<u32>(std::countr_zero(z)) >> 3;
+  }
+
+  /// Branchless victim among 8 valid ways (no empty way in the set).
+  /// Defined inline so both the scalar and the AVX2 translation units fold
+  /// it into their miss paths.
+  size_t victim_full_set8(u64 set) {
+    if (policy_ == Policy::Lru) return rank_find(lru_rank_[set], 7);
+    // BRRIP: evict the first way predicted "distant" (RRPV==3); if none, age
+    // the whole set and rescan — terminates within 3 rounds.  SWAR over the
+    // packed meta lane; aging only runs when every RRPV <= 2, so the
+    // per-byte +1 never carries into the dirty bit or a neighboring lane.
+    u64 m;
+    std::memcpy(&m, &meta_[set * 8], 8);
+    size_t v;
+    for (;;) {
+      const u64 distant = m & (m >> 1) & kLane;  // bit0 set where RRPV == 3
+      if (distant != 0) {
+        v = static_cast<size_t>(std::countr_zero(distant)) >> 3;
+        break;
+      }
+      m += kLane;
+    }
+    std::memcpy(&meta_[set * 8], &m, 8);
+    return v;
+  }
+
+  /// Shared 8-way hit bookkeeping (way `w` of `set` matched).
+  void hit_update8(u64 set, u32 w, bool is_write) {
+    if (policy_ == Policy::Lru) {
+      // One RMW: promote recency and absorb the write's dirty bit.
+      u64 ranks = lru_rank_[set];
+      rank_promote(ranks, w);
+      if (is_write) ranks |= kRankDirty << (8 * w);
+      lru_rank_[set] = ranks;
+    } else {
+      // RRPV -> 0 (near-immediate re-reference), dirty absorbed.
+      u8& m = meta_[set * 8 + w];
+      m = (m & kDirtyBit) | (is_write ? kDirtyBit : 0);
+    }
+  }
+
+  /// Shared 8-way miss tail: pick a victim (first way of `invalid_mask` if
+  /// any), account the eviction, install the new tag.  Returns the way used.
+  u32 fill8(u64 set, u64 tag32, u32 invalid_mask, bool is_write) {
+    const size_t base = set * 8;
+    ++stats_.misses;
+    stats_.dram_read_bytes += line_bytes_;
+    const bool lru = policy_ == Policy::Lru;
+    size_t v;
+    if (invalid_mask != 0) {
+      v = static_cast<size_t>(std::countr_zero(invalid_mask));  // first empty way
+    } else {
+      v = victim_full_set8(set);
+      ++stats_.evictions;
+      const bool was_dirty = lru ? ((lru_rank_[set] >> (8 * v)) & kRankDirty) != 0
+                                 : (meta_[base + v] & kDirtyBit) != 0;
+      if (was_dirty) {
+        ++stats_.writebacks;
+        stats_.dram_write_bytes += line_bytes_;
+      }
+    }
+    tags32_[base + v] = static_cast<u32>(tag32);
+    if (lru) {
+      u64 ranks = lru_rank_[set];
+      rank_promote(ranks, static_cast<u32>(v));
+      ranks &= ~(kRankDirty << (8 * v));
+      if (is_write) ranks |= kRankDirty << (8 * v);
+      lru_rank_[set] = ranks;
+    } else {
+      // Bimodal insertion: distant (3) most of the time, long (2) every 32nd
+      // fill — deterministic counter in place of the paper's epsilon dice.
+      const u8 rrpv = (++brrip_insert_counter_ % 32 == 0) ? 2 : 3;
+      meta_[base + v] = (is_write ? kDirtyBit : 0) | rrpv;
+    }
+    return static_cast<u32>(v);
+  }
+
+  /// The 8-way layout stores u32 tags; enforce the (petabyte-scale) bound.
+  /// Out-of-line so the cold throw machinery never bloats the touch loops —
+  /// callers check once per walk (tags only grow along a line walk).
+  void check_tag32(u64 tag) const;
 
   Bytes capacity_;
   u32 line_bytes_;
   u32 assoc_;
   u64 sets_;
   Policy policy_;
-  std::vector<Way> ways_;  // sets_ * assoc_, set-major
+  bool fast8_ = false;   ///< assoc == 8: compact layout + branchless victims
+  bool simd_ = false;    ///< fast8 + compiled-in + CPU-supported AVX2 probe
+  i32 line_shift_ = -1;  ///< log2(line_bytes) when a power of two, else -1
+  i32 set_shift_ = -1;   ///< log2(sets) when a power of two, else -1
+  u64 set_mask_ = 0;
+  // Set-major state.  The 8-way fast path uses {tags32_, meta_, lru_rank_};
+  // every other associativity uses {tags_, meta_, lru_stamp_}.
+  std::vector<u32> tags32_;     ///< fast8: kInvalidTag32 = empty way
+  std::vector<u64> tags_;       ///< generic: kInvalidTag = empty way
+  std::vector<u8> meta_;        ///< dirty | RRPV, sets_ * assoc_
+  std::vector<u64> lru_rank_;   ///< fast8 LRU: packed recency ranks, one u64 per set
+  std::vector<u64> lru_stamp_;  ///< generic LRU: per-way recency clock
+  std::vector<u32> mru_way_;    ///< scalar probes: per set, way of the last hit/fill
   CacheStats stats_;
   u64 clock_ = 0;
   u64 brrip_insert_counter_ = 0;

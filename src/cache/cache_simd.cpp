@@ -1,0 +1,53 @@
+// AVX2 hot loop for the default 8-way geometry: the whole u32 tag lane of a
+// set is one 32-byte load, so the match-way and empty-way masks come out of
+// one vector compare each with no mispredicting scan.  Compiled with -mavx2
+// for this translation unit only; SetAssocCache dispatches here at runtime
+// when the CPU supports it (see simd_ in the constructor).
+//
+// Replacement decisions are identical to the scalar path — victim choice,
+// RRPV aging, rank promotion and the BRRIP insertion counter evolve
+// bit-identically — so simulation results never depend on the host CPU.
+#include "cache/cache.hpp"
+
+#if defined(CELLO_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace cello::cache {
+
+namespace {
+
+/// One bit per way: which of the 8 u32 tags equal `needle`.
+inline u32 match_mask8(const u32* tags, u32 needle) {
+  const __m256i lane = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags));
+  const __m256i eq = _mm256_cmpeq_epi32(lane, _mm256_set1_epi32(static_cast<int>(needle)));
+  return static_cast<u32>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+
+}  // namespace
+
+bool SetAssocCache::touch_line8_simd(u64 set, u64 tag, bool is_write) {
+  const u32 tag32 = static_cast<u32>(tag);
+  const u32* tags = &tags32_[set * 8];
+  const u32 match = match_mask8(tags, tag32);
+  if (match != 0) {
+    hit_update8(set, static_cast<u32>(std::countr_zero(match)), is_write);
+    return true;
+  }
+  fill8(set, tag32, match_mask8(tags, kInvalidTag32), is_write);
+  return false;
+}
+
+void SetAssocCache::access_lines_simd(u64 first_line, u64 count, bool is_write) {
+  stats_.accesses += count;
+  stats_.tag_lookups += count;
+  stats_.data_accesses += count;
+
+  stats_.hits += walk_lines(first_line, count, [&](u64 set, u64 tag) {
+    return touch_line8_simd(set, tag, is_write);
+  });
+}
+
+}  // namespace cello::cache
+
+#endif  // CELLO_HAVE_AVX2

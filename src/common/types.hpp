@@ -8,6 +8,7 @@ namespace cello {
 
 using i32 = std::int32_t;
 using i64 = std::int64_t;
+using u8 = std::uint8_t;
 using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 

@@ -31,6 +31,10 @@ struct RunMetrics {
   };
   std::vector<OpTraffic> per_op;
 
+  /// Pre-size the per-op breakdown for a known schedule length (the simulator
+  /// calls this once up front so the step loop never reallocates).
+  void reserve_steps(size_t steps) { per_op.reserve(steps); }
+
   double gmacs_per_sec() const { return seconds > 0 ? static_cast<double>(total_macs) / seconds / 1e9 : 0; }
   /// Achieved arithmetic intensity (MACs per DRAM byte).
   double intensity() const {

@@ -17,39 +17,68 @@ BufferService CachePolicy::service_op(const OpTrace& trace) {
 
   constexpr i64 kChunkRows = 512;
 
-  // Identify the sparse operand (if any) and split the rest by size.
+  auto line_range = [&](Addr start, Bytes len) -> LineRange {
+    if (len == 0) return {};
+    const u64 first = cache_.line_of(start);
+    return {first, cache_.line_of(start + len - 1) - first + 1};
+  };
+
+  // Identify the sparse operand (if any) and split the rest by size.  The
+  // partitions live in member scratch so the steady path never allocates.
   const ir::TensorDesc* sparse_in = nullptr;
-  std::vector<const ir::TensorDesc*> large_in, small_in;
+  large_in_.clear();
+  small_in_.clear();
   for (ir::TensorId in : trace.inputs) {
     const ir::TensorDesc& t = dag.tensor(in);
     if (t.storage == ir::Storage::CompressedSparse)
       sparse_in = &t;
     else if (t.bytes() > arch_.rf_bytes)
-      large_in.push_back(&t);
+      large_in_.push_back(&t);
     else
-      small_in.push_back(&t);
+      small_in_.push_back(line_range(map.of(t.id).start, t.bytes()));
   }
   const ir::TensorDesc& out = dag.tensor(op.output);
 
   // The op's iteration space along the large (row) dimension.
   i64 rows = 1;
   for (const auto& r : op.ranks) rows = std::max(rows, r.size);
-  if (sparse_in == nullptr && large_in.empty() && out.bytes() <= arch_.rf_bytes) rows = 1;
+  if (sparse_in == nullptr && large_in_.empty() && out.bytes() <= arch_.rf_bytes) rows = 1;
 
   auto row_bytes = [&](const ir::TensorDesc& t) -> Bytes {
     const i64 r = t.dims.empty() ? 1 : t.dims.front();
     return std::max<Bytes>(1, t.bytes() / std::max<i64>(1, r));
   };
 
+  // Loop-invariant address bases, resolved once per op rather than per chunk
+  // (and, for the CSR gather, per nonzero).
+  const Addr sparse_start = sparse_in != nullptr ? map.of(sparse_in->id).start : 0;
+  const bool real_trace =
+      sparse_in != nullptr && matrix != nullptr && matrix->rows() == rows;
+  const i64* row_ptr = real_trace ? matrix->row_ptr().data() : nullptr;
+  const i64* col_idx = real_trace ? matrix->col_idx().data() : nullptr;
+  const ir::TensorDesc* gather_dense = nullptr;
+  Addr gather_start = 0;
+  Bytes gather_rb = 0;
+  if (sparse_in != nullptr && !large_in_.empty()) {
+    gather_dense = large_in_.front();
+    gather_start = map.of(gather_dense->id).start;
+    gather_rb = row_bytes(*gather_dense);
+  }
+  const bool out_serviced = trace.service_output;
+  const bool out_large = out.bytes() > arch_.rf_bytes;
+  const Addr out_start = out_serviced ? map.of(out.id).start : 0;
+  const Bytes out_rb = out_serviced && out_large ? row_bytes(out) : 0;
+  const LineRange out_small =
+      out_serviced && !out_large ? line_range(out_start, out.bytes()) : LineRange{};
+
   for (i64 r0 = 0; r0 < rows; r0 += kChunkRows) {
     const i64 r1 = std::min(rows, r0 + kChunkRows);
 
     if (sparse_in != nullptr) {
       // CSR segment of the chunk: values + columns stream sequentially.
-      const Addr a_start = map.of(sparse_in->id).start;
       Bytes seg_off = 0, seg_len = 0;
-      if (matrix != nullptr && matrix->rows() == rows) {
-        const i64 k0 = matrix->row_ptr()[r0], k1 = matrix->row_ptr()[r1];
+      if (real_trace) {
+        const i64 k0 = row_ptr[r0], k1 = row_ptr[r1];
         seg_off = static_cast<Bytes>(k0) * 8;
         seg_len = static_cast<Bytes>(k1 - k0) * 8;
       } else {
@@ -57,30 +86,63 @@ BufferService CachePolicy::service_op(const OpTrace& trace) {
         seg_off = static_cast<Bytes>(r0) * per_row;
         seg_len = static_cast<Bytes>(r1 - r0) * per_row;
       }
-      cache_.access_range(a_start + seg_off, seg_len, false);
+      cache_.access_range(sparse_start + seg_off, seg_len, false);
 
       // Gather the dense operand rows indexed by the chunk's non-zeros.
-      if (!large_in.empty()) {
-        const ir::TensorDesc& dense = *large_in.front();
-        const Addr d_start = map.of(dense.id).start;
-        const Bytes rb = row_bytes(dense);
-        if (matrix != nullptr && matrix->rows() == rows) {
-          for (i64 r = r0; r < r1; ++r)
-            for (i64 k = matrix->row_ptr()[r]; k < matrix->row_ptr()[r + 1]; ++k)
-              cache_.access_range(d_start + static_cast<Bytes>(matrix->col_idx()[k]) * rb, rb,
-                                  false);
+      if (gather_dense != nullptr) {
+        // When dense rows are whole aligned cache lines, byte ranges of
+        // consecutive columns are contiguous and share no line — so a run of
+        // consecutive columns replays as ONE range walk, touching exactly
+        // the same lines in the same order as per-column calls.  Banded
+        // matrices (most of Table VI) are nearly all such runs.
+        const bool mergeable =
+            gather_rb % arch_.line_bytes == 0 && gather_start % arch_.line_bytes == 0;
+        if (real_trace) {
+          // The column sequence is irregular, so tell the cache model which
+          // sets are coming: prefetching the metadata lanes a few gathers
+          // ahead hides their host-memory latency.
+          constexpr i64 kPrefetchAhead = 16;
+          const i64 k1 = row_ptr[r1];
+          for (i64 k = row_ptr[r0]; k < k1;) {
+            if (k + kPrefetchAhead < k1)
+              cache_.prefetch_range(
+                  gather_start + static_cast<Bytes>(col_idx[k + kPrefetchAhead]) * gather_rb,
+                  gather_rb);
+            const i64 c0 = col_idx[k];
+            i64 c_end = c0 + 1;
+            ++k;
+            if (mergeable)
+              while (k < k1 && col_idx[k] == c_end) {
+                ++c_end;
+                ++k;
+              }
+            cache_.access_range(gather_start + static_cast<Bytes>(c0) * gather_rb,
+                                static_cast<Bytes>(c_end - c0) * gather_rb, false);
+          }
         } else {
-          // Synthetic banded gather when no matrix is supplied.
+          // Synthetic banded gather when no matrix is supplied: row r touches
+          // the clamped column band [r - occ/2, r + occ/2).
           const i64 occ = std::max<i64>(1, sparse_in->nnz / std::max<i64>(1, rows));
-          for (i64 r = r0; r < r1; ++r)
-            for (i64 k = 0; k < occ; ++k) {
-              const i64 c = std::min<i64>(rows - 1, std::max<i64>(0, r + k - occ / 2));
-              cache_.access_range(d_start + static_cast<Bytes>(c) * rb, rb, false);
+          for (i64 r = r0; r < r1; ++r) {
+            i64 k = 0;
+            while (k < occ) {
+              const i64 c0 = std::min<i64>(rows - 1, std::max<i64>(0, r + k - occ / 2));
+              i64 c_end = c0 + 1;
+              ++k;
+              if (mergeable)
+                while (k < occ &&
+                       std::min<i64>(rows - 1, std::max<i64>(0, r + k - occ / 2)) == c_end) {
+                  ++c_end;
+                  ++k;
+                }
+              cache_.access_range(gather_start + static_cast<Bytes>(c0) * gather_rb,
+                                  static_cast<Bytes>(c_end - c0) * gather_rb, false);
             }
+          }
         }
       }
     } else {
-      for (const auto* t : large_in) {
+      for (const auto* t : large_in_) {
         const Bytes rb = row_bytes(*t);
         cache_.access_range(map.of(t->id).start + static_cast<Bytes>(r0) * rb,
                             static_cast<Bytes>(r1 - r0) * rb, false);
@@ -88,17 +150,15 @@ BufferService CachePolicy::service_op(const OpTrace& trace) {
     }
 
     // Small operands re-streamed per chunk (they hit once resident).
-    for (const auto* t : small_in)
-      cache_.access_range(map.of(t->id).start, t->bytes(), false);
+    for (const LineRange& t : small_in_) cache_.access_lines(t.first_line, t.count, false);
 
     // Output chunk: skewed outputs stream; small outputs accumulate (RMW).
-    if (trace.service_output) {
-      if (out.bytes() > arch_.rf_bytes) {
-        const Bytes rb = row_bytes(out);
-        cache_.access_range(map.of(out.id).start + static_cast<Bytes>(r0) * rb,
-                            static_cast<Bytes>(r1 - r0) * rb, true);
+    if (out_serviced) {
+      if (out_large) {
+        cache_.access_range(out_start + static_cast<Bytes>(r0) * out_rb,
+                            static_cast<Bytes>(r1 - r0) * out_rb, true);
       } else {
-        cache_.access_range(map.of(out.id).start, out.bytes(), true);
+        cache_.access_lines(out_small.first_line, out_small.count, true);
       }
     }
   }

@@ -2,7 +2,14 @@
 // the BufferPolicy interface.  Trace-driven at cache-line granularity: every
 // routed op is replayed as a chunked access stream, including the SpMM
 // gather pattern against the real sparse matrix when one is provided.
+//
+// service_op is allocation-free on the steady path: operand partitions live
+// in member scratch vectors and every per-chunk address decomposition that is
+// loop-invariant (base addresses, row strides, small-operand line ranges) is
+// hoisted out of the row loops and fed to the cache's line-granularity API.
 #pragma once
+
+#include <vector>
 
 #include "cache/cache.hpp"
 #include "sim/policies/buffer_policy.hpp"
@@ -35,6 +42,15 @@ class CachePolicy final : public BufferPolicy {
   AcceleratorConfig arch_;
   cache::Policy replacement_;
   cache::SetAssocCache cache_;
+
+  /// Precomputed whole-tensor line range, re-streamed once per chunk.
+  struct LineRange {
+    u64 first_line = 0;
+    u64 count = 0;
+  };
+  // Reused scratch (cleared per op) — service_op allocates nothing steady-state.
+  std::vector<const ir::TensorDesc*> large_in_;
+  std::vector<LineRange> small_in_;
 };
 
 BufferPolicyFactory lru_cache();

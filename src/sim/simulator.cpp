@@ -1,9 +1,9 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "common/error.hpp"
+#include "common/types.hpp"
 #include "sim/address_map.hpp"
 #include "sim/policies/schedule_policy.hpp"
 #include "sim/registry.hpp"
@@ -16,26 +16,37 @@ using score::Schedule;
 
 /// Per-base-tensor reuse bookkeeping: the union of the use positions of every
 /// per-iteration instance sharing the base buffer.
+///
+/// The simulator queries at monotonically non-decreasing step positions, so
+/// each base keeps a cursor at the first use position beyond the last queried
+/// step: remaining_after / next_distance are O(1) amortized instead of a
+/// binary search per query.
 struct BaseReuse {
   std::vector<std::vector<i64>> uses;  ///< per base id, sorted step positions
+  std::vector<size_t> cursor;          ///< per base id: first index with uses[i] > last pos
 
   static BaseReuse build(const ir::TensorDag& dag, const Schedule& sched, const AddressMap& map) {
     BaseReuse r;
     r.uses.assign(map.entries.size(), {});
+    r.cursor.assign(map.entries.size(), 0);
     for (const auto& t : dag.tensors())
       for (i64 p : sched.use_positions[t.id]) r.uses[map.base_id(t.id)].push_back(p);
     for (auto& u : r.uses) std::sort(u.begin(), u.end());
     return r;
   }
 
-  i32 remaining_after(i32 base, i64 pos) const {
+  size_t advance(i32 base, i64 pos) {
     const auto& u = uses[base];
-    return static_cast<i32>(u.end() - std::upper_bound(u.begin(), u.end(), pos));
+    size_t& c = cursor[base];
+    while (c < u.size() && u[c] <= pos) ++c;
+    return c;
   }
-  i64 next_distance(i32 base, i64 pos) const {
-    const auto& u = uses[base];
-    auto it = std::upper_bound(u.begin(), u.end(), pos);
-    return it == u.end() ? -1 : *it - pos;
+  i32 remaining_after(i32 base, i64 pos) {
+    return static_cast<i32>(uses[base].size() - advance(base, pos));
+  }
+  i64 next_distance(i32 base, i64 pos) {
+    const size_t c = advance(base, pos);
+    return c == uses[base].size() ? -1 : uses[base][c] - pos;
   }
 };
 
@@ -71,20 +82,31 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
   const AcceleratorConfig arch = effective_arch(config);
   const Schedule sched = make_schedule(dag, config);
   const AddressMap map = AddressMap::build(dag);
-  const BaseReuse reuse = BaseReuse::build(dag, sched, map);
+  BaseReuse reuse = BaseReuse::build(dag, sched, map);
   const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
   const std::unique_ptr<BufferPolicy> policy = config.buffers(arch);
   const bool trace = policy->trace_driven();
+  const size_t n_bases = map.entries.size();
 
   RunMetrics metrics;
+  metrics.reserve_steps(sched.steps.size());
 
-  auto attribute_read = [&](Bytes b, const std::string& base) {
+  // DRAM traffic attribution, accumulated per base id during the run and
+  // materialized into the name-keyed map once at the end (no string-keyed
+  // map lookups on the hot path).  `touched` preserves which bases appeared,
+  // so zero-byte attributions still materialize like they used to.
+  std::vector<Bytes> traffic(n_bases, 0);
+  std::vector<u8> traffic_touched(n_bases, 0);
+
+  auto attribute_read = [&](Bytes b, i32 base) {
     metrics.dram_read_bytes += b;
-    metrics.traffic_by_tensor[base] += b;
+    traffic[base] += b;
+    traffic_touched[base] = 1;
   };
-  auto attribute_write = [&](Bytes b, const std::string& base) {
+  auto attribute_write = [&](Bytes b, i32 base) {
     metrics.dram_write_bytes += b;
-    metrics.traffic_by_tensor[base] += b;
+    traffic[base] += b;
+    traffic_touched[base] = 1;
   };
 
   auto meta_for = [&](const ir::TensorDesc& t, i64 step) {
@@ -99,19 +121,26 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
   };
 
   // External register-file-resident bases already fetched once.
-  std::set<i32> rf_loaded;
+  std::vector<u8> rf_loaded(n_bases, 0);
 
   // Bases whose final version is a result stay resident until the
   // end-of-run drain instead of being retired at their last consumption.
-  std::set<i32> result_bases;
+  std::vector<u8> result_base(n_bases, 0);
   for (const auto& t : dag.tensors())
-    if (t.is_result) result_bases.insert(map.base_id(t.id));
+    if (t.is_result) result_base[map.base_id(t.id)] = 1;
 
   // Per-pipeline-group timing accumulators: consecutive steps linked by an
   // on-chip serviced edge share a group (Parallel pipeline style only);
   // everything else is op-by-op.
   std::vector<double> group_compute, group_dram;
+  group_compute.reserve(sched.steps.size() + 1);
+  group_dram.reserve(sched.steps.size() + 1);
   i32 cur_group = -1;
+
+  // Scratch for per-step input-base dedup (op arity is tiny; sorted so the
+  // retirement order matches the old std::set iteration).
+  std::vector<i32> retire_bases;
+  retire_bases.reserve(8);
 
   u64 pipeline_sram_lines = 0;  ///< pipeline-buffer staging accesses
 
@@ -134,20 +163,24 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
     OpTrace op_trace;  // filled only for trace-driven policies
 
     // ---- inputs ----
-    std::set<ir::TensorId> seen;
-    for (ir::TensorId in : op.inputs) {
-      if (!seen.insert(in).second) continue;  // same tensor used twice (R^T R)
+    for (size_t ii = 0; ii < op.inputs.size(); ++ii) {
+      const ir::TensorId in = op.inputs[ii];
+      // Same tensor used twice (R^T R): only the first occurrence is serviced.
+      bool repeat = false;
+      for (size_t jj = 0; jj < ii; ++jj) repeat = repeat || op.inputs[jj] == in;
+      if (repeat) continue;
       const ir::TensorDesc& t = dag.tensor(in);
       const Bytes b = t.bytes();
-      const std::string& base = map.of(in).base;
+      const i32 base = map.base_id(in);
 
       switch (router.route_input(op, in)) {
         case Route::PipelineBuffer:
-          pipeline_sram_lines += b / arch.line_bytes + 1;
+          pipeline_sram_lines += ceil_div<Bytes>(b, arch.line_bytes);
           break;
         case Route::RegisterFile:
           // Externals cost one cold fetch; on-chip-produced stay in the RF.
-          if (!dag.producer(in).has_value() && rf_loaded.insert(map.base_id(in)).second) {
+          if (!dag.producer(in).has_value() && !rf_loaded[base]) {
+            rf_loaded[base] = 1;
             attribute_read(b, base);
             op_dram += b;
           }
@@ -173,11 +206,11 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
     {
       const ir::TensorDesc& t = dag.tensor(op.output);
       const Bytes b = t.bytes();
-      const std::string& base = map.of(op.output).base;
+      const i32 base = map.base_id(op.output);
 
       switch (out_route) {
         case Route::PipelineBuffer:
-          pipeline_sram_lines += b / arch.line_bytes + 1;
+          pipeline_sram_lines += ceil_div<Bytes>(b, arch.line_bytes);
           break;
         case Route::RegisterFile:
         case Route::Discard:
@@ -209,13 +242,15 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
     metrics.per_op.push_back({op.name, op.macs(), op_dram});
 
     // ---- retirement: free buffer space of bases with no further use ----
-    {
-      std::set<i32> bases;
-      for (ir::TensorId in : op.inputs) bases.insert(map.base_id(in));
-      for (i32 base : bases)
-        if (reuse.remaining_after(base, step) == 0 && !result_bases.count(base))
-          policy->retire(base);
+    retire_bases.clear();
+    for (ir::TensorId in : op.inputs) {
+      const i32 base = map.base_id(in);
+      if (std::find(retire_bases.begin(), retire_bases.end(), base) == retire_bases.end())
+        retire_bases.push_back(base);
     }
+    std::sort(retire_bases.begin(), retire_bases.end());
+    for (i32 base : retire_bases)
+      if (reuse.remaining_after(base, step) == 0 && !result_base[base]) policy->retire(base);
 
     group_dram[cur_group] += arch.dram_seconds(op_dram);
   }
@@ -231,12 +266,21 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
       for (const auto& item : *items) {
         drained += item.dram_write;
         // Empty base = timing only; the policy's finalize() owns the totals.
-        if (!item.base.empty()) attribute_write(item.dram_write, item.base);
+        if (!item.base.empty()) {
+          metrics.dram_write_bytes += item.dram_write;
+          metrics.traffic_by_tensor[item.base] += item.dram_write;
+        }
       }
       group_compute.push_back(0);
       group_dram.push_back(arch.dram_seconds(drained));
     }
   }
+
+  // Materialize the name-keyed attribution map (drain entries are already
+  // in it; a base drained *and* touched during the run merges by name, same
+  // as when every attribution went through the map).
+  for (size_t b = 0; b < n_bases; ++b)
+    if (traffic_touched[b]) metrics.traffic_by_tensor[map.entries[b].base] += traffic[b];
 
   for (size_t g = 0; g < group_compute.size(); ++g)
     metrics.seconds += std::max(group_compute[g], group_dram[g]);

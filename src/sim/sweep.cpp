@@ -19,11 +19,15 @@ std::vector<SweepResult> SweepRunner::run(const std::vector<SweepWorkload>& work
   if (total == 0) return out;
 
   std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
 
   auto worker = [&]() {
     for (size_t job; (job = next.fetch_add(1)) < total;) {
+      // A cell already failed: the grid's result is a rethrow, so burning
+      // the remaining cells only wastes wall time.
+      if (failed.load(std::memory_order_relaxed)) return;
       const size_t wi = job / configs.size();
       const size_t ci = job % configs.size();
       const SweepWorkload& wl = workloads[wi];
@@ -31,6 +35,7 @@ std::vector<SweepResult> SweepRunner::run(const std::vector<SweepWorkload>& work
         const Simulator simulator(arch, wl.matrix);
         out[job] = {wl.name, configs[ci].name, simulator.run(wl.dag, configs[ci])};
       } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }

@@ -35,7 +35,8 @@ class SweepRunner {
 
   /// Run every workload under every configuration.  Result i*configs+j holds
   /// workload i under configuration j.  The first exception thrown by any
-  /// cell is rethrown after all workers finish.
+  /// cell is rethrown once the workers stop; a failure makes every worker
+  /// abandon the remaining cells instead of burning through the grid.
   std::vector<SweepResult> run(const std::vector<SweepWorkload>& workloads,
                                const std::vector<Configuration>& configs,
                                const AcceleratorConfig& arch) const;

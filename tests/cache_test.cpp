@@ -2,6 +2,7 @@
 // naive reference model, BRRIP scan resistance, and stats accounting.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <tuple>
@@ -149,8 +150,11 @@ TEST_P(LruReferenceTest, MatchesNaiveModelOnRandomTrace) {
 
 INSTANTIATE_TEST_SUITE_P(
     Geometries, LruReferenceTest,
+    // The last two geometries have a non-power-of-two set count (12) and a
+    // non-power-of-two line size (24B, 10 sets): they pin the division
+    // fallback path to the same semantics as the shift/mask fast path.
     ::testing::Values(CacheGeom{256, 16, 2}, CacheGeom{512, 16, 4}, CacheGeom{1024, 16, 8},
-                      CacheGeom{2048, 32, 4}),
+                      CacheGeom{2048, 32, 4}, CacheGeom{768, 16, 4}, CacheGeom{960, 24, 4}),
     [](const ::testing::TestParamInfo<CacheGeom>& info) {
       return "cap" + std::to_string(info.param.capacity) + "_l" +
              std::to_string(info.param.line) + "_a" + std::to_string(info.param.assoc);
@@ -159,6 +163,122 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Cache, PolicyNames) {
   EXPECT_STREQ(cache::to_string(Policy::Lru), "LRU");
   EXPECT_STREQ(cache::to_string(Policy::Brrip), "BRRIP");
+}
+
+TEST(Cache, AccessRangeSpansSetWraparound) {
+  // 16 sets of 4 ways.  A range crossing line 16 wraps the set index back to
+  // 0 while bumping the tag; every covered line must land in its own set.
+  SetAssocCache c(1024, 16, 4, Policy::Lru);
+  ASSERT_EQ(c.num_sets(), 16u);
+  c.access_range(14 * 16, 5 * 16, false);  // lines 14..18: sets 14,15,0,1,2
+  EXPECT_EQ(c.stats().accesses, 5u);
+  EXPECT_EQ(c.stats().misses, 5u);
+  for (u64 line = 14; line <= 18; ++line) EXPECT_TRUE(c.contains_line(line)) << line;
+  // Line 16 (set 0, tag 1) must not alias line 0 (set 0, tag 0).
+  EXPECT_FALSE(c.contains_line(0));
+  // A range spanning several full wraps touches every line exactly once.
+  SetAssocCache d(1024, 16, 4, Policy::Lru);
+  d.access_range(0, 48 * 16, false);  // 48 lines over 16 sets: tags 0..2
+  EXPECT_EQ(d.stats().accesses, 48u);
+  EXPECT_EQ(d.stats().misses, 48u);
+  for (u64 line = 0; line < 48; ++line) EXPECT_TRUE(d.contains_line(line)) << line;
+}
+
+TEST(Cache, BrripAgingSaturates) {
+  // One set, 4 ways, all hot (RRPV==0 after hits).  A fill then needs three
+  // aging rounds to surface an RRPV==3 victim; the search must terminate and
+  // evict exactly one resident line.
+  SetAssocCache c(64, 16, 4, Policy::Brrip);
+  for (u64 l = 0; l < 4; ++l) c.access_line(l, false);
+  for (u64 l = 0; l < 4; ++l) c.access_line(l, false);  // hits: all RRPV -> 0
+  EXPECT_EQ(c.stats().hits, 4u);
+  c.access_line(100, false);
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_TRUE(c.contains_line(100));
+  int resident = 0;
+  for (u64 l = 0; l < 4; ++l) resident += c.contains_line(l) ? 1 : 0;
+  EXPECT_EQ(resident, 3);
+}
+
+TEST(Cache, FlushWritebackCounts) {
+  SetAssocCache c(1024, 16, 4, Policy::Lru);
+  c.access_range(0, 5 * 16, true);    // 5 dirty lines
+  c.access_range(5 * 16, 3 * 16, false);  // 3 clean lines
+  c.flush();
+  EXPECT_EQ(c.stats().writebacks, 5u);
+  EXPECT_EQ(c.stats().dram_write_bytes, 5u * 16);
+  // Everything is invalid now; a second flush drains nothing.
+  c.flush();
+  EXPECT_EQ(c.stats().writebacks, 5u);
+  // Re-dirtying a line after flush writes back again.
+  c.access(0, true);
+  c.flush();
+  EXPECT_EQ(c.stats().writebacks, 6u);
+}
+
+TEST(Cache, SimdAndScalarPathsAgree) {
+  // The default 8-way geometry may dispatch to the AVX2 probe; forcing the
+  // scalar path via CELLO_DISABLE_AVX2 must not change a single stat.  (On
+  // hosts without AVX2 both caches take the scalar path and this is trivial.)
+  for (Policy p : {Policy::Lru, Policy::Brrip}) {
+    SetAssocCache dispatched(4096, 16, 8, p);
+    ASSERT_EQ(setenv("CELLO_DISABLE_AVX2", "1", 1), 0);
+    SetAssocCache scalar(4096, 16, 8, p);
+    unsetenv("CELLO_DISABLE_AVX2");
+
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+      const Addr addr = rng.bounded(16384);
+      const Bytes len = 1 + rng.bounded(200);
+      const bool w = rng.uniform() < 0.3;
+      dispatched.access_range(addr, len, w);
+      scalar.access_range(addr, len, w);
+      const auto& a = dispatched.stats();
+      const auto& b = scalar.stats();
+      ASSERT_EQ(a.hits, b.hits) << "op " << i;
+      ASSERT_EQ(a.misses, b.misses) << "op " << i;
+      ASSERT_EQ(a.evictions, b.evictions) << "op " << i;
+      ASSERT_EQ(a.writebacks, b.writebacks) << "op " << i;
+    }
+    dispatched.flush();
+    scalar.flush();
+    EXPECT_EQ(dispatched.stats().writebacks, scalar.stats().writebacks) << to_string(p);
+    EXPECT_EQ(dispatched.stats().dram_bytes(), scalar.stats().dram_bytes()) << to_string(p);
+  }
+}
+
+TEST(Cache, BulkAccessMatchesPerLineLoop) {
+  // The coalesced access_lines walk must be indistinguishable — stats and
+  // final contents — from the naive per-line access() loop, for both
+  // replacement policies, on random (addr, len, rw) traces.
+  for (Policy p : {Policy::Lru, Policy::Brrip}) {
+    SetAssocCache bulk(2048, 16, 4, p);
+    SetAssocCache perline(2048, 16, 4, p);
+    Rng rng(97);
+    for (int i = 0; i < 2000; ++i) {
+      const Addr addr = rng.bounded(8192);
+      const Bytes len = 1 + rng.bounded(400);
+      const bool w = rng.uniform() < 0.4;
+      bulk.access_range(addr, len, w);
+      const Addr first = addr / 16, last = (addr + len - 1) / 16;
+      for (Addr line = first; line <= last; ++line) perline.access(line * 16, w);
+
+      const auto& a = bulk.stats();
+      const auto& b = perline.stats();
+      ASSERT_EQ(a.accesses, b.accesses) << "op " << i;
+      ASSERT_EQ(a.hits, b.hits) << "op " << i;
+      ASSERT_EQ(a.misses, b.misses) << "op " << i;
+      ASSERT_EQ(a.evictions, b.evictions) << "op " << i;
+      ASSERT_EQ(a.writebacks, b.writebacks) << "op " << i;
+      ASSERT_EQ(a.dram_read_bytes, b.dram_read_bytes) << "op " << i;
+      ASSERT_EQ(a.dram_write_bytes, b.dram_write_bytes) << "op " << i;
+      ASSERT_EQ(a.tag_lookups, b.tag_lookups) << "op " << i;
+      ASSERT_EQ(a.data_accesses, b.data_accesses) << "op " << i;
+    }
+    bulk.flush();
+    perline.flush();
+    EXPECT_EQ(bulk.stats().writebacks, perline.stats().writebacks) << to_string(p);
+  }
 }
 
 }  // namespace

@@ -2,8 +2,12 @@
 // bit-identical agreement with serial execution.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
 #include "cello/cello.hpp"
 #include "common/error.hpp"
+#include "sim/policies/explicit_buffers.hpp"
 #include "sparse/datasets.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/gnn.hpp"
@@ -94,6 +98,39 @@ TEST(Sweep, CellErrorsPropagateAfterJoin) {
   broken.name = "broken";
   const AcceleratorConfig arch;
   EXPECT_THROW(SweepRunner(/*threads=*/2).run(workloads_vec, {broken}, arch), Error);
+}
+
+TEST(Sweep, FirstFailureAbandonsRemainingCells) {
+  // A single-threaded sweep whose very first cell throws must not burn the
+  // rest of the grid: the failed flag stops the job loop before any of the
+  // later (counting) configurations run.
+  const auto workloads_vec = two_workloads();
+  const AcceleratorConfig arch;
+
+  auto counting_factory = [](std::atomic<int>& counter) {
+    return [&counter](const sim::AcceleratorConfig& a) {
+      ++counter;
+      return sim::explicit_buffers()(a);
+    };
+  };
+
+  std::atomic<int> runs_after_failure{0};
+  std::vector<sim::Configuration> configs;
+  sim::Configuration throwing = sim::make_configuration(
+      "throws", sim::SchedulePolicy::OpByOp,
+      [](const sim::AcceleratorConfig&) -> std::unique_ptr<sim::BufferPolicy> {
+        throw Error("injected cell failure");
+      },
+      "throws");
+  configs.push_back(throwing);
+  for (int i = 0; i < 4; ++i)
+    configs.push_back(sim::make_configuration("count" + std::to_string(i),
+                                              sim::SchedulePolicy::OpByOp,
+                                              counting_factory(runs_after_failure), "EB"));
+
+  EXPECT_THROW(SweepRunner(/*threads=*/1).run(workloads_vec, configs, arch), Error);
+  // Job 0 threw; jobs 1..9 must all have been skipped.
+  EXPECT_EQ(runs_after_failure.load(), 0);
 }
 
 }  // namespace
