@@ -11,6 +11,7 @@
 #include "bench_util.hpp"
 #include "sim/registry.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/resnet.hpp"
 
@@ -69,6 +70,50 @@ void BM_CgCello(benchmark::State& s) {
   run_config(s, cg_dag(), &shallow_water_matrix(), "Cello");
 }
 
+// ---- sweep-level rows -------------------------------------------------------
+// A one-workload grid over the analytic/CHORD configurations, where schedule
+// construction dominates each cell.  The shared row exercises SweepRunner's
+// per-(workload, schedule-policy) Schedule/AddressMap cache (8 cells, 2
+// schedule builds); the rebuild row replays the pre-cache behavior (one
+// schedule + address map per cell) and is the recorded baseline the shared
+// row's speedup is quoted against.  threads=1 so the delta is purely
+// algorithmic, not thread-pool scaling.
+
+const std::vector<std::string>& sweep_config_names() {
+  static const std::vector<std::string> kNames = {
+      "Flexagon", "FLAT",           "SET",        "Prelude-only",
+      "Cello",    "SCORE+explicit", "FLAT+CHORD", "SET+CHORD"};
+  return kNames;
+}
+
+const sim::Workload& sweep_cg_workload() {
+  static const sim::Workload wl = sim::WorkloadRegistry::global().resolve("cg:iters=20,n=16");
+  return wl;
+}
+
+void BM_SweepCgAnalyticShared(benchmark::State& state) {
+  const auto arch = bench::table5_config(1e12, 4ull * 1024 * 1024);
+  const std::vector<sim::Workload> workloads = {sweep_cg_workload()};
+  const sim::SweepRunner runner(/*threads=*/1);
+  for (auto _ : state) {
+    const auto cells = runner.run(workloads, sweep_config_names(), arch);
+    benchmark::DoNotOptimize(cells.back().metrics.dram_bytes);
+  }
+}
+
+void BM_SweepCgAnalyticRebuild(benchmark::State& state) {
+  const auto arch = bench::table5_config(1e12, 4ull * 1024 * 1024);
+  const auto& wl = sweep_cg_workload();
+  const auto& registry = sim::ConfigRegistry::global();
+  const sim::Simulator simulator(arch, wl.matrix.get());
+  for (auto _ : state) {
+    Bytes dram_bytes = 0;
+    for (const auto& name : sweep_config_names())
+      dram_bytes += simulator.run(*wl.dag, registry.at(name)).dram_bytes;
+    benchmark::DoNotOptimize(dram_bytes);
+  }
+}
+
 }  // namespace
 
 // SRAM capacity in MiB — the Fig. 16(b) sweep points.
@@ -77,5 +122,7 @@ BENCHMARK(BM_CgFlexBrrip)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond
 BENCHMARK(BM_ResnetFlexLru)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ResnetFlexBrrip)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CgCello)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepCgAnalyticShared)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepCgAnalyticRebuild)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

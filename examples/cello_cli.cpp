@@ -1,44 +1,51 @@
-// cello_cli — drive the full pipeline from the command line, optionally on a
-// real Matrix Market file.  Configurations resolve by name in the
-// sim::ConfigRegistry, so every Table IV preset AND every registered novel
-// combination (SCORE+LRU, FLAT+CHORD, ...) is runnable.
+// cello_cli — drive the full pipeline from the command line.  Workloads and
+// configurations both resolve by name: workloads in the sim::WorkloadRegistry
+// (spec strings like "cg:m=65536,n=16", "gnn:cora", "spmv:mm=file.mtx"),
+// configurations in the sim::ConfigRegistry (every Table IV preset AND every
+// registered novel combination).
 //
 // Usage:
-//   ./example_cello_cli simulate  [--workload cg|bicgstab|gnn|resnet|power]
-//                                 [--dataset <table6 name> | --mtx <file.mtx>]
-//                                 [--n <rhs>] [--iters <k>] [--bw <GB/s>]
-//                                 [--sram <MiB>] [--config <name>|all]
-//   ./example_cello_cli sweep     [--workload ...] [--dataset ...] [--jobs <n>]
-//                                 (all registered configs, parallel SweepRunner)
-//   ./example_cello_cli classify  [--workload ...] [--dataset ...]
-//   ./example_cello_cli report    [--workload ...] [--dataset ...]   (per-op breakdown)
+//   ./example_cello_cli run       [--workload <spec>]... [--config <name>|all]
+//                                 [--bw <GB/s>] [--sram <MiB>]
+//   ./example_cello_cli sweep     [--workload <spec>]... [--jobs <n>]
+//                                 (all registered configs, parallel SweepRunner;
+//                                  one immutable DAG/schedule per workload row)
+//   ./example_cello_cli classify  [--workload <spec>]
+//   ./example_cello_cli report    [--workload <spec>]      (per-op breakdown)
+//   ./example_cello_cli workloads (list registered workload kinds + parameters)
 //   ./example_cello_cli configs   (list registry entries)
 //   ./example_cello_cli datasets
+//
+// Legacy flags --dataset/--mtx/--n/--iters still work: they fold into each
+// spec's parameters where the kind accepts them, unless the spec already
+// sets them ("simulate" is kept as an alias of "run").  One behavior change
+// vs the pre-registry CLI: without --dataset, each kind resolves its own
+// documented default dataset (bicgstab -> nasa4704, gnn -> cora, power ->
+// G2_circuit) instead of the old global shallow_water1 default.
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cello/cello.hpp"
 #include "common/format.hpp"
 #include "score/dependency.hpp"
 #include "sim/report.hpp"
 #include "sparse/datasets.hpp"
-#include "sparse/matrix_market.hpp"
-#include "workloads/poweriter.hpp"
 
 namespace {
 
 using namespace cello;
 
 struct Options {
-  std::string command = "simulate";
-  std::string workload = "cg";
-  std::string dataset = "shallow_water1";
-  std::string mtx;
+  std::string command = "run";
+  std::vector<std::string> workloads;  ///< registry spec strings; empty = {"cg"}
+  std::optional<std::string> dataset;  ///< legacy flags, folded into the specs
+  std::optional<std::string> mtx;
+  std::optional<i64> n;
+  std::optional<i64> iters;
   std::string config = "all";
-  i64 n = 16;
-  i64 iters = 10;
   double bw_gbps = 1000;
   Bytes sram_mib = 4;
   u32 jobs = 0;  // 0 = hardware concurrency
@@ -52,7 +59,7 @@ Options parse(int argc, char** argv) {
       if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return std::string(argv[++i]);
       return std::nullopt;
     };
-    if (auto v = next("--workload")) o.workload = *v;
+    if (auto v = next("--workload")) o.workloads.push_back(*v);
     else if (auto v2 = next("--dataset")) o.dataset = *v2;
     else if (auto v3 = next("--mtx")) o.mtx = *v3;
     else if (auto v4 = next("--n")) o.n = std::stoll(*v4);
@@ -62,7 +69,40 @@ Options parse(int argc, char** argv) {
     else if (auto v8 = next("--config")) o.config = *v8;
     else if (auto v9 = next("--jobs")) o.jobs = static_cast<u32>(std::stoul(*v9));
   }
+  if (o.workloads.empty()) o.workloads.push_back("cg");
   return o;
+}
+
+/// The legacy flags lose to parameters the spec itself sets, and only fold
+/// into kinds that actually accept the parameter (so `--workload resnet
+/// --dataset fv1` keeps working as it did before specs existed).
+std::vector<sim::WorkloadSpec> workload_specs(const Options& o) {
+  std::vector<sim::WorkloadSpec> specs;
+  for (const auto& text : o.workloads) {
+    sim::WorkloadSpec spec = sim::WorkloadSpec::parse(text);
+    const sim::WorkloadKind* kind = sim::WorkloadRegistry::global().find(spec.kind);
+    auto accepts = [&](const char* key) {
+      if (kind == nullptr) return true;  // unknown kind: let resolve() report it
+      for (const auto& p : kind->params)
+        if (p.name == key) return true;
+      return false;
+    };
+    auto set_if_absent = [&](const char* key, const std::string& value) {
+      if (accepts(key) && !spec.params.count(key)) spec.params[key] = value;
+    };
+    // A spec naming any matrix source (mm/dataset/gen/m) wins outright: the
+    // legacy source flags then apply only to the other --workload rows.
+    const bool spec_has_source = spec.params.count("mm") || spec.params.count("dataset") ||
+                                 spec.params.count("gen") || spec.params.count("m");
+    if (!spec_has_source) {
+      if (o.mtx) set_if_absent("mm", *o.mtx);
+      else if (o.dataset) set_if_absent("dataset", *o.dataset);
+    }
+    if (o.n) set_if_absent("n", std::to_string(*o.n));
+    if (o.iters) set_if_absent("iters", std::to_string(*o.iters));
+    specs.push_back(std::move(spec));
+  }
+  return specs;
 }
 
 int list_configs() {
@@ -76,12 +116,36 @@ int list_configs() {
   return 0;
 }
 
+int list_workloads() {
+  const auto& registry = sim::WorkloadRegistry::global();
+  for (const auto& name : registry.names()) {
+    const auto& kind = registry.at(name);
+    std::cout << kind.name << " — " << kind.description << "\n";
+    for (const auto& p : kind.params)
+      std::cout << "    " << p.name << "=" << p.default_value << "  " << p.doc << "\n";
+  }
+  std::cout << "\nspec grammar: kind[:k=v,...]  e.g. \"cg:m=65536,n=16,iters=10\", "
+               "\"gnn:cora\", \"spmv:mm=file.mtx\"\n";
+  return 0;
+}
+
+void print_workload(const sim::Workload& wl) {
+  std::cout << "workload: " << wl.name << "  (" << wl.dag->ops().size() << " ops, "
+            << wl.dag->edges().size() << " edges)";
+  if (wl.matrix)
+    std::cout << "  matrix: M=" << wl.matrix->rows() << " nnz=" << wl.matrix->nnz();
+  else
+    std::cout << "  matrix: shape-only";
+  std::cout << "\n";
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   const Options o = parse(argc, argv);
 
   if (o.command == "configs") return list_configs();
+  if (o.command == "workloads") return list_workloads();
 
   if (o.command == "datasets") {
     TextTable t({"name", "workload", "rows", "nnz", "GNN N", "GNN O"});
@@ -92,96 +156,96 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Resolve the matrix: explicit .mtx beats the synthetic dataset.
-  sparse::CsrMatrix matrix;
-  std::string source;
-  if (!o.mtx.empty()) {
-    matrix = sparse::read_matrix_market_file(o.mtx);
-    source = o.mtx;
-  } else {
-    matrix = sparse::instantiate(sparse::dataset_by_name(o.dataset));
-    source = o.dataset + " (synthetic)";
-  }
-  std::cout << "matrix: " << source << "  M=" << matrix.rows() << "  nnz=" << matrix.nnz()
-            << "\n";
-
-  // Build the requested workload DAG.
-  ir::TensorDag dag;
-  if (o.workload == "cg") {
-    dag = workloads::build_cg_dag({matrix.rows(), o.n, matrix.nnz(), o.iters, 4});
-  } else if (o.workload == "bicgstab") {
-    dag = workloads::build_bicgstab_dag({matrix.rows(), matrix.nnz(), 1, o.iters, 4});
-  } else if (o.workload == "gnn") {
-    const auto& spec = sparse::dataset_by_name(o.dataset);
-    dag = workloads::build_gnn_dag({matrix.rows(), matrix.nnz(),
-                                    spec.gnn_in_features ? spec.gnn_in_features : 64,
-                                    spec.gnn_out_features ? spec.gnn_out_features : 16, 4});
-  } else if (o.workload == "resnet") {
-    dag = workloads::build_resnet_block_dag({});
-  } else if (o.workload == "power") {
-    dag = workloads::build_power_iteration_dag({matrix.rows(), matrix.nnz(), o.iters, 4});
-  } else {
-    std::cerr << "unknown workload: " << o.workload << "\n";
+  // Validate the command before building workloads: a typo must not trigger
+  // (or mask its error behind) DAG and matrix construction.
+  if (o.command != "classify" && o.command != "report" && o.command != "sweep" &&
+      o.command != "run" && o.command != "simulate") {
+    std::cerr << "unknown command: " << o.command << "\n";
     return 1;
   }
-  std::cout << "workload: " << o.workload << "  (" << dag.ops().size() << " ops, "
-            << dag.edges().size() << " edges)\n\n";
 
   sim::AcceleratorConfig arch;
   arch.dram_bytes_per_sec = o.bw_gbps * 1e9;
   arch.sram_bytes = o.sram_mib * 1024 * 1024;
 
-  if (o.command == "classify") {
-    const auto cls = score::classify_scheduled(dag, dag.topo_order());
-    TextTable t({"edge", "tensor", "dependency"});
-    for (const auto& e : dag.edges())
-      t.add_row({dag.op(e.src).name + " -> " + dag.op(e.dst).name,
-                 dag.tensor(e.tensor).name, score::to_string(cls.edge_kind[e.id])});
-    std::cout << t.to_string();
-    return 0;
-  }
-  if (o.command == "report") {
-    const sim::Simulator simulator(arch, &matrix);
-    const auto m = simulator.run(dag, "Cello");
-    std::cout << "Cello per-op breakdown:\n" << sim::per_op_report(m, arch) << "\n";
-    std::cout << "Traffic by tensor:\n" << sim::per_tensor_report(m);
-    return 0;
-  }
-  if (o.command == "sweep") {
-    // Every registered configuration — presets and novel combinations — fanned
-    // across a thread pool; ordering is deterministic.
-    std::vector<sim::SweepWorkload> workloads;
-    workloads.push_back({o.workload, std::move(dag), &matrix});
-    const sim::SweepRunner runner(o.jobs);
-    const auto cells = runner.run(workloads, sim::ConfigRegistry::global().names(), arch);
-    TextTable t({"workload", "config", "GMACs/s", "time", "DRAM traffic"});
-    for (const auto& cell : cells)
-      t.add_row({cell.workload, cell.config, format_double(cell.metrics.gmacs_per_sec(), 2),
-                 format_double(cell.metrics.seconds * 1e6, 1) + " us",
-                 format_bytes(static_cast<double>(cell.metrics.dram_bytes))});
-    std::cout << t.to_string();
-    return 0;
-  }
-  if (o.command == "simulate") {
-    if (o.config == "all") {
-      std::cout << compare_table(dag, arch, &matrix);
+  {
+    const auto specs = workload_specs(o);
+    // Resolve through the registry: each distinct spec's DAG is built once
+    // and shared immutably with every command below.
+    std::vector<sim::Workload> workloads;
+    workloads.reserve(specs.size());
+    for (const auto& spec : specs)
+      workloads.push_back(sim::WorkloadRegistry::global().resolve(spec));
+
+    if (o.command == "classify") {
+      for (const sim::Workload& wl : workloads) {
+        print_workload(wl);
+        const auto cls = score::classify_scheduled(*wl.dag, wl.dag->topo_order());
+        TextTable t({"edge", "tensor", "dependency"});
+        for (const auto& e : wl.dag->edges())
+          t.add_row({wl.dag->op(e.src).name + " -> " + wl.dag->op(e.dst).name,
+                     wl.dag->tensor(e.tensor).name, score::to_string(cls.edge_kind[e.id])});
+        std::cout << t.to_string();
+      }
       return 0;
     }
-    const sim::Configuration* config = sim::ConfigRegistry::global().find(o.config);
-    if (config == nullptr) {
+    if (o.command == "report") {
+      for (const sim::Workload& wl : workloads) {
+        print_workload(wl);
+        const sim::Simulator simulator(arch, wl.matrix.get());
+        const auto m = simulator.run(*wl.dag, "Cello");
+        std::cout << "Cello per-op breakdown:\n" << sim::per_op_report(m, arch) << "\n";
+        std::cout << "Traffic by tensor:\n" << sim::per_tensor_report(m);
+      }
+      return 0;
+    }
+    if (o.command == "sweep") {
+      // Every workload row under every registered configuration, fanned
+      // across a thread pool; each row shares one immutable DAG and one
+      // schedule per schedule policy.  Ordering is deterministic.
+      const sim::SweepRunner runner(o.jobs);
+      const auto cells = runner.run(workloads, sim::ConfigRegistry::global().names(), arch);
+      TextTable t({"workload", "config", "GMACs/s", "time", "DRAM traffic"});
+      for (const auto& cell : cells)
+        t.add_row({cell.workload, cell.config, format_double(cell.metrics.gmacs_per_sec(), 2),
+                   format_double(cell.metrics.seconds * 1e6, 1) + " us",
+                   format_bytes(static_cast<double>(cell.metrics.dram_bytes))});
+      std::cout << t.to_string();
+      return 0;
+    }
+    // run / simulate
+    const sim::Configuration* config =
+        o.config == "all" ? nullptr : sim::ConfigRegistry::global().find(o.config);
+    if (o.config != "all" && config == nullptr) {
       std::cerr << "unknown config: " << o.config << " (use 'all' or one of:";
       for (const auto& name : sim::ConfigRegistry::global().names()) std::cerr << " " << name;
       std::cerr << ")\n";
       return 1;
     }
-    const sim::Simulator simulator(arch, &matrix);
-    const auto m = simulator.run(dag, *config);
-    std::cout << config->name << " (" << config->describe() << "): "
-              << format_double(m.gmacs_per_sec(), 1) << " GMACs/s, "
-              << format_bytes(static_cast<double>(m.dram_bytes)) << " DRAM, "
-              << format_double(m.seconds * 1e6, 1) << " us\n";
+    for (const sim::Workload& wl : workloads) {
+      print_workload(wl);
+      if (config == nullptr) {
+        std::cout << compare_table(*wl.dag, arch, wl.matrix.get()) << "\n";
+        continue;
+      }
+      const sim::Simulator simulator(arch, wl.matrix.get());
+      const auto m = simulator.run(*wl.dag, *config);
+      std::cout << config->name << " (" << config->describe() << "): "
+                << format_double(m.gmacs_per_sec(), 1) << " GMACs/s, "
+                << format_bytes(static_cast<double>(m.dram_bytes)) << " DRAM, "
+                << format_double(m.seconds * 1e6, 1) << " us\n";
+    }
     return 0;
   }
-  std::cerr << "unknown command: " << o.command << "\n";
-  return 1;
+}
+
+int main(int argc, char** argv) {
+  // Catches cello::Error (bad specs, unknown datasets, unreadable .mtx) and
+  // the std:: exceptions the numeric flag parsing can throw.
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }

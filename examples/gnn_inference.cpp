@@ -36,17 +36,14 @@ int main(int argc, char** argv) {
   linalg::gemm(h, w, y);
   std::cout << "forward pass done; |Y|_F = " << format_double(y.frobenius_norm(), 3) << "\n\n";
 
-  // Scheduling view: the single intermediate is pipelineable (no delayed
-  // consumer), so Cello == FLAT on GNN layers.
-  workloads::GnnShape g;
-  g.vertices = spec.rows;
-  g.nnz = a_hat.nnz();
-  g.in_features = spec.gnn_in_features;
-  g.out_features = spec.gnn_out_features;
-  const auto dag = workloads::build_gnn_dag(g);
-  const auto cls = score::classify_scheduled(dag, dag.topo_order());
+  // Scheduling view: the same layer as a registry workload ("gnn:cora" /
+  // "gnn:protein" — the preset carries the Table VI shapes and the matrix).
+  // The single intermediate is pipelineable (no delayed consumer), so
+  // Cello == FLAT on GNN layers.
+  const auto wl = sim::WorkloadRegistry::global().resolve("gnn:" + name);
+  const auto cls = score::classify_scheduled(*wl.dag, wl.dag->topo_order());
   std::cout << "H dependency: " << score::to_string(cls.edge_kind[0]) << "\n\n";
 
-  std::cout << compare_table(dag, sim::AcceleratorConfig{}, &a_hat);
+  std::cout << compare_table(*wl.dag, sim::AcceleratorConfig{}, wl.matrix.get());
   return 0;
 }

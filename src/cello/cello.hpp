@@ -1,27 +1,35 @@
-// Cello public facade: build a workload DAG, schedule it with SCORE, run it
-// under a named or custom-composed configuration, and report metrics.
+// Cello public facade: resolve a workload by name, schedule it with SCORE,
+// run it under a named or custom-composed configuration, and report metrics.
 //
-// Quickstart (composable API):
-//   auto dag = cello::workloads::build_cg_dag({.m = 81920, .n = 16, .nnz = 327680});
+// Quickstart (composable API — both axes of the sweep grid are registries):
+//   // Workloads are named, parameterized specs resolved to immutable DAGs.
+//   auto& workloads = cello::sim::WorkloadRegistry::global();
+//   auto cg  = workloads.resolve("cg:m=81920,n=16,iters=10");  // shape-only
+//   auto gnn = workloads.resolve("gnn:cora");                  // dataset preset
+//
 //   cello::sim::AcceleratorConfig arch;                  // Table V defaults
-//   cello::sim::Simulator simulator(arch);
+//   cello::sim::Simulator simulator(arch, cg.matrix.get());
 //   auto& registry = cello::sim::ConfigRegistry::global();
-//   auto cello_m = simulator.run(dag, registry.at("Cello"));
-//   auto novel_m = simulator.run(dag, "SCORE+LRU");      // inexpressible under the old enum
+//   auto cello_m = simulator.run(*cg.dag, registry.at("Cello"));
+//   auto novel_m = simulator.run(*cg.dag, "SCORE+LRU");  // inexpressible under the old enum
 //
 //   // Custom pairing: any SchedulePolicy x BufferPolicy combination.
 //   auto mine = cello::sim::make_configuration(
 //       "mine", cello::sim::SchedulePolicy::Score, cello::sim::brrip_cache(), "BRRIP");
-//   auto mine_m = simulator.run(dag, mine);
+//   auto mine_m = simulator.run(*cg.dag, mine);
 //
-//   // Parallel {workloads} x {configs} grid with deterministic ordering:
+//   // Parallel {workloads} x {configs} grid with deterministic ordering;
+//   // each workload's DAG, schedule and address map are built once and
+//   // shared read-only across the pool:
 //   cello::sim::SweepRunner sweep;
-//   auto cells = sweep.run({{"cg", dag}}, registry.names(), arch);
+//   auto cells = sweep.run({"cg", "gnn:cora", "spmv", "sddmm:heads=4"},
+//                          registry.names(), arch);
 //
-//   std::cout << cello::compare_table(dag, arch);        // the seven Table IV rows
+//   std::cout << cello::compare_table(*cg.dag, arch);    // the seven Table IV rows
 //
-// The ConfigKind enum and cello::run/run_all/compare_table below are thin
-// shims over the registry, kept for the paper-reproduction benches.
+// Workload DAGs can still be built directly (build_cg_dag & friends); the
+// ConfigKind enum and cello::run/run_all/compare_table below are thin shims
+// over the registries, kept for the paper-reproduction benches.
 #pragma once
 
 #include <string>
@@ -39,11 +47,15 @@
 #include "sim/registry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "sim/workload_registry.hpp"
+#include "sim/workload_spec.hpp"
 #include "sparse/csr.hpp"
 #include "workloads/bicgstab.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/gnn.hpp"
 #include "workloads/resnet.hpp"
+#include "workloads/sddmm.hpp"
+#include "workloads/spmv.hpp"
 
 namespace cello {
 

@@ -42,6 +42,10 @@ struct ScheduleOptions {
   Bytes rf_bytes = 64 * 1024;     ///< register-file capacity for "small" tensors
   bool enable_pipelining = true;  ///< off = pure op-by-op (best-intra baselines)
   bool minimize_swizzle = true;   ///< off = producer-preferred layout (ablation)
+
+  /// Equal options build identical schedules for a given DAG — callers that
+  /// cache schedules (SweepRunner) key on this equality.
+  bool operator==(const ScheduleOptions&) const = default;
 };
 
 struct Schedule {

@@ -5,12 +5,12 @@
 namespace cello::sim {
 
 BufferService ExplicitBuffersPolicy::read_tensor(const chord::TensorMeta& t) {
-  sram_lines_ += t.bytes / arch_.line_bytes + 1;
+  sram_lines_ += ceil_div<Bytes>(t.bytes, arch_.line_bytes);
   return {.dram_read = t.bytes, .dram_write = 0};
 }
 
 BufferService ExplicitBuffersPolicy::write_tensor(const chord::TensorMeta& t) {
-  sram_lines_ += t.bytes / arch_.line_bytes + 1;
+  sram_lines_ += ceil_div<Bytes>(t.bytes, arch_.line_bytes);
   return {.dram_read = 0, .dram_write = t.bytes};
 }
 

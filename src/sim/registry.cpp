@@ -71,6 +71,8 @@ ConfigRegistry::ConfigRegistry() {
                          /*allow_delayed_hold=*/true));
   add(make_configuration("SCORE+explicit", SchedulePolicy::Score, explicit_buffers(),
                          "explicit", /*allow_delayed_hold=*/true));
+  // "Cello" spelled as its composition, for symmetry with the combos above.
+  add_alias("SCORE+CHORD", "Cello");
 }
 
 ConfigRegistry& ConfigRegistry::global() {
@@ -88,6 +90,16 @@ void ConfigRegistry::add(Configuration config) {
                   "configuration '" << config.name << "' already registered");
   configs_.push_back(std::move(config));
   by_normalized_[key] = configs_.size() - 1;
+}
+
+void ConfigRegistry::add_alias(const std::string& alias, const std::string& existing) {
+  const std::string key = normalize(alias);
+  std::lock_guard<std::mutex> lock(mu_);
+  CELLO_CHECK_MSG(!by_normalized_.count(key), "alias '" << alias << "' already registered");
+  const auto it = by_normalized_.find(normalize(existing));
+  CELLO_CHECK_MSG(it != by_normalized_.end(),
+                  "alias '" << alias << "' targets unknown configuration '" << existing << "'");
+  by_normalized_[key] = it->second;
 }
 
 const Configuration* ConfigRegistry::find(const std::string& name) const {

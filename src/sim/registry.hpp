@@ -29,6 +29,10 @@ class ConfigRegistry {
   /// duplicate (normalized) name or a missing buffer factory.
   void add(Configuration config);
 
+  /// Register an alternative name for an existing configuration ("SCORE+CHORD"
+  /// resolves to the Cello preset).  Aliases do not appear in names().
+  void add_alias(const std::string& alias, const std::string& existing);
+
   /// Lookup by (normalized) name; nullptr when absent.  The pointer stays
   /// valid for the registry's lifetime.
   const Configuration* find(const std::string& name) const;

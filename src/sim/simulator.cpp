@@ -59,13 +59,17 @@ AcceleratorConfig Simulator::effective_arch(const Configuration& config) const {
   return arch;
 }
 
-score::Schedule Simulator::make_schedule(const ir::TensorDag& dag,
-                                         const Configuration& config) const {
+score::ScheduleOptions Simulator::schedule_options(const Configuration& config) const {
   const AcceleratorConfig arch = effective_arch(config);
   score::ScheduleOptions opts;
   opts.rf_bytes = arch.rf_bytes;
   opts.enable_pipelining = config.schedule != SchedulePolicy::OpByOp;
-  return score::build_schedule(dag, opts);
+  return opts;
+}
+
+score::Schedule Simulator::make_schedule(const ir::TensorDag& dag,
+                                         const Configuration& config) const {
+  return score::build_schedule(dag, schedule_options(config));
 }
 
 RunMetrics Simulator::run(const ir::TensorDag& dag, const std::string& config_name) const {
@@ -77,11 +81,16 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, ConfigKind kind) const {
 }
 
 RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config) const {
+  const Schedule sched = make_schedule(dag, config);
+  const AddressMap map = AddressMap::build(dag);
+  return run(dag, config, sched, map);
+}
+
+RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
+                          const Schedule& sched, const AddressMap& map) const {
   CELLO_CHECK_MSG(static_cast<bool>(config.buffers),
                   "configuration '" << config.name << "' has no buffer policy factory");
   const AcceleratorConfig arch = effective_arch(config);
-  const Schedule sched = make_schedule(dag, config);
-  const AddressMap map = AddressMap::build(dag);
   BaseReuse reuse = BaseReuse::build(dag, sched, map);
   const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
   const std::unique_ptr<BufferPolicy> policy = config.buffers(arch);

@@ -15,6 +15,7 @@
 
 #include "ir/dag.hpp"
 #include "score/schedule.hpp"
+#include "sim/address_map.hpp"
 #include "sim/config.hpp"
 #include "sim/configuration.hpp"
 #include "sim/metrics.hpp"
@@ -29,6 +30,13 @@ class Simulator {
 
   /// Evaluate one configuration.
   RunMetrics run(const ir::TensorDag& dag, const Configuration& config) const;
+  /// Evaluate with a precomputed, shared schedule + address map.  `sched`
+  /// must equal make_schedule(dag, config) and `map` AddressMap::build(dag);
+  /// both are read-only here, so one immutable copy can serve many
+  /// concurrent runs — SweepRunner builds them once per (workload,
+  /// schedule-policy) pair instead of once per sweep cell.
+  RunMetrics run(const ir::TensorDag& dag, const Configuration& config,
+                 const score::Schedule& sched, const AddressMap& map) const;
   /// Convenience: resolve `config_name` in the global ConfigRegistry (throws
   /// cello::Error for unknown names).
   RunMetrics run(const ir::TensorDag& dag, const std::string& config_name) const;
@@ -37,6 +45,12 @@ class Simulator {
 
   /// The schedule the configuration's schedule policy would build.
   score::Schedule make_schedule(const ir::TensorDag& dag, const Configuration& config) const;
+
+  /// The exact scheduling inputs make_schedule derives from a configuration.
+  /// Configurations with equal options build identical schedules for a given
+  /// DAG — this is the cache key SweepRunner shares schedules by, so any
+  /// future knob that affects scheduling must be folded in here.
+  score::ScheduleOptions schedule_options(const Configuration& config) const;
 
   /// Architecture after applying the configuration's knob overrides.
   AcceleratorConfig effective_arch(const Configuration& config) const;

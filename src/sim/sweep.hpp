@@ -1,8 +1,16 @@
 // SweepRunner: fan a {workloads} x {configurations} grid across a
 // std::thread pool.  Results come back in deterministic row-major order
 // (workload-major, configuration-minor) regardless of thread scheduling, and
-// every cell is bit-identical to a serial Simulator::run — each run gets its
-// own freshly constructed BufferPolicy, so cells share no mutable state.
+// every cell is bit-identical to a serial Simulator::run.
+//
+// Workloads enter the grid as registry specs ("cg:m=65536,n=16", "gnn:cora")
+// or as resolved sim::Workload handles; each spec's DAG is built once per
+// sweep and shared immutably across its row.  Per (workload, schedule-policy)
+// pair the runner also builds one immutable score::Schedule + AddressMap and
+// shares it read-only across the pool — configurations differing only in
+// their buffer policy reuse the same schedule instead of rebuilding it per
+// cell.  Mutable per-run state (the BufferPolicy, reuse cursors) is still
+// freshly constructed inside every cell, so cells share no mutable state.
 #pragma once
 
 #include <string>
@@ -12,10 +20,12 @@
 #include "sim/config.hpp"
 #include "sim/configuration.hpp"
 #include "sim/metrics.hpp"
+#include "sim/workload_registry.hpp"
 #include "sparse/csr.hpp"
 
 namespace cello::sim {
 
+/// Legacy pre-built-DAG row (thin shim; prefer WorkloadSpec / Workload).
 struct SweepWorkload {
   std::string name;
   ir::TensorDag dag;
@@ -37,11 +47,30 @@ class SweepRunner {
   /// workload i under configuration j.  The first exception thrown by any
   /// cell is rethrown once the workers stop; a failure makes every worker
   /// abandon the remaining cells instead of burning through the grid.
-  std::vector<SweepResult> run(const std::vector<SweepWorkload>& workloads,
+  std::vector<SweepResult> run(const std::vector<Workload>& workloads,
                                const std::vector<Configuration>& configs,
                                const AcceleratorConfig& arch) const;
 
   /// Convenience: resolve configuration names in the global ConfigRegistry.
+  std::vector<SweepResult> run(const std::vector<Workload>& workloads,
+                               const std::vector<std::string>& config_names,
+                               const AcceleratorConfig& arch) const;
+
+  /// Resolve workload specs in the global WorkloadRegistry (each distinct
+  /// spec's DAG is built once), then run the grid.
+  std::vector<SweepResult> run(const std::vector<WorkloadSpec>& specs,
+                               const std::vector<Configuration>& configs,
+                               const AcceleratorConfig& arch) const;
+
+  /// Fully name-driven grid: workload spec strings x configuration names.
+  std::vector<SweepResult> run(const std::vector<std::string>& workload_specs,
+                               const std::vector<std::string>& config_names,
+                               const AcceleratorConfig& arch) const;
+
+  /// Legacy pre-built-DAG overloads (shims over the Workload path).
+  std::vector<SweepResult> run(const std::vector<SweepWorkload>& workloads,
+                               const std::vector<Configuration>& configs,
+                               const AcceleratorConfig& arch) const;
   std::vector<SweepResult> run(const std::vector<SweepWorkload>& workloads,
                                const std::vector<std::string>& config_names,
                                const AcceleratorConfig& arch) const;

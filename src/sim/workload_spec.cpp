@@ -1,0 +1,53 @@
+#include "sim/workload_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace cello::sim {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
+  throw Error("workload spec '" + text + "': " + why);
+}
+
+}  // namespace
+
+WorkloadSpec WorkloadSpec::parse(const std::string& text) {
+  WorkloadSpec spec;
+  const auto colon = text.find(':');
+  spec.kind = text.substr(0, colon);
+  if (spec.kind.empty()) bad_spec(text, "missing workload kind");
+
+  if (colon == std::string::npos) return spec;
+  const std::string rest = text.substr(colon + 1);
+  if (rest.empty()) bad_spec(text, "trailing ':'");
+
+  size_t start = 0;
+  while (start <= rest.size()) {
+    const size_t comma = std::min(rest.find(',', start), rest.size());
+    const std::string token = rest.substr(start, comma - start);
+    if (token.empty()) bad_spec(text, "empty parameter");
+    const auto eq = token.find('=');
+    // A bare token is dataset-preset shorthand: "gnn:cora" == "gnn:dataset=cora".
+    const std::string key = eq == std::string::npos ? "dataset" : token.substr(0, eq);
+    const std::string value = eq == std::string::npos ? token : token.substr(eq + 1);
+    if (key.empty() || value.empty()) bad_spec(text, "malformed parameter '" + token + "'");
+    if (spec.params.count(key)) bad_spec(text, "duplicate parameter '" + key + "'");
+    spec.params[key] = value;
+    start = comma + 1;
+  }
+  return spec;
+}
+
+std::string WorkloadSpec::to_string() const {
+  std::string out = kind;
+  char sep = ':';
+  for (const auto& [key, value] : params) {
+    out += sep;
+    out += key + "=" + value;
+    sep = ',';
+  }
+  return out;
+}
+
+}  // namespace cello::sim

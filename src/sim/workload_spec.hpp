@@ -1,0 +1,39 @@
+// sim::WorkloadSpec: a named, parameterized workload description.
+//
+// A spec is a workload *kind* (a name registered in the WorkloadRegistry,
+// e.g. "cg", "gnn", "spmv") plus key=value parameter overrides:
+//
+//   "cg"                         defaults only
+//   "cg:m=65536,n=16,iters=10"   synthetic shape overrides
+//   "gnn:cora"                   bare token = dataset preset shorthand
+//   "spmv:mm=path.mtx"           Matrix Market file as the matrix source
+//
+// Specs are pure values: parsing never builds a DAG or touches the
+// filesystem, so they are cheap to pass around, compare and serialize.
+// to_string() emits the canonical form (parameters in sorted key order),
+// which parse() round-trips and the registry uses as its cache key.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cello::sim {
+
+struct WorkloadSpec {
+  std::string kind;
+  /// key=value overrides; std::map keeps the canonical form deterministic.
+  std::map<std::string, std::string> params;
+
+  /// Parse "kind[:k=v,k=v,...]".  A bare token without '=' is shorthand for
+  /// "dataset=<token>" ("gnn:cora").  Throws cello::Error on an empty kind,
+  /// an empty key or value, or a duplicate key.  Values cannot themselves
+  /// contain ',' (the parameter separator) — notably mm= file paths.
+  static WorkloadSpec parse(const std::string& text);
+
+  /// Canonical spec string: "kind" or "kind:k=v,..." with sorted keys.
+  std::string to_string() const;
+
+  bool operator==(const WorkloadSpec& other) const = default;
+};
+
+}  // namespace cello::sim

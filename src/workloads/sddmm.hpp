@@ -1,0 +1,32 @@
+// Sparse-attention building block: SDDMM followed (optionally) by SpMM.
+//
+// Per attention head h over a shared sparsity mask M (the graph / attention
+// pattern, stored compressed):
+//   S@h = M (.) (Q@h K@h^T)     SDDMM — only the nnz positions of M are
+//                               computed, contracting the feature rank d
+//   O@h = S@h . V@h             SpMM — aggregate values through the scores
+//
+// The two operators are joined by a pipelineable sparse intermediate (S@h),
+// while the mask M is re-read by every head — the same delayed external
+// reuse as the solver matrices, at GNN-like operator counts.  SDDMM + SpMM
+// is the kernel pair behind sparse transformers and GAT-style models, built
+// here from the same src/sparse + src/linalg modelling vocabulary as the
+// solver workloads.
+#pragma once
+
+#include "ir/dag.hpp"
+
+namespace cello::workloads {
+
+struct SddmmShape {
+  i64 rows = 0;            ///< sequence length / graph vertices (M)
+  i64 nnz = 0;             ///< stored non-zeros of the mask
+  i64 features = 64;       ///< head feature dimension d
+  i64 heads = 1;           ///< independent attention heads sharing the mask
+  Bytes word_bytes = 4;
+  bool with_spmm = true;   ///< false = SDDMM kernels only (no aggregation)
+};
+
+ir::TensorDag build_sddmm_dag(const SddmmShape& shape);
+
+}  // namespace cello::workloads

@@ -1,0 +1,26 @@
+// Standalone SpMV/SpMM streaming workload: per iteration
+//   x@{i} = A . x@{i-1}         ('U*', compressed contraction)
+//
+// The simplest matrix-reuse pattern the paper's buffer policies disagree on:
+// A is re-read by every iteration (the delayed external reuse CHORD's PRELUDE
+// captures) while each iterate pipelines straight into the next SpMV, with no
+// intervening dots or scales (contrast build_power_iteration_dag, which
+// breaks the chain with a contracted reduction per step).  n > 1 makes every
+// operator an SpMM over n simultaneous vectors.
+#pragma once
+
+#include "ir/dag.hpp"
+
+namespace cello::workloads {
+
+struct SpmvShape {
+  i64 m = 0;          ///< matrix rows
+  i64 nnz = 0;        ///< stored non-zeros of A
+  i64 n = 1;          ///< simultaneous right-hand vectors (1 = classic SpMV)
+  i64 iterations = 10;
+  Bytes word_bytes = 4;
+};
+
+ir::TensorDag build_spmv_dag(const SpmvShape& shape);
+
+}  // namespace cello::workloads

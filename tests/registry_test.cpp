@@ -4,6 +4,8 @@
 // enum could not express.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cello/cello.hpp"
 #include "common/error.hpp"
 #include "sim/policies/cache_policy.hpp"
@@ -61,6 +63,17 @@ TEST(Registry, LookupIsNormalized) {
   EXPECT_NE(registry.find("prelude-only"), nullptr);
   EXPECT_EQ(registry.find("no-such-config"), nullptr);
   EXPECT_THROW(registry.at("no-such-config"), Error);
+}
+
+TEST(Registry, ScoreChordAliasResolvesToCello) {
+  const auto& registry = ConfigRegistry::global();
+  const Configuration* alias = registry.find("score+chord");
+  ASSERT_NE(alias, nullptr);
+  EXPECT_EQ(alias, registry.find("Cello"));
+  // Aliases are lookup-only: names() still lists each configuration once.
+  const auto names = registry.names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "Cello"), 1);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "SCORE+CHORD"), 0);
 }
 
 TEST(Registry, Table4NamesComeFirstInPaperOrder) {

@@ -89,7 +89,77 @@ TEST(Sweep, SharedMatrixContextIsSafeAcrossThreads) {
 
 TEST(Sweep, EmptyGridIsEmpty) {
   const AcceleratorConfig arch;
-  EXPECT_TRUE(SweepRunner().run({}, std::vector<sim::Configuration>{}, arch).empty());
+  EXPECT_TRUE(SweepRunner()
+                  .run(std::vector<SweepWorkload>{}, std::vector<sim::Configuration>{}, arch)
+                  .empty());
+  EXPECT_TRUE(SweepRunner()
+                  .run(std::vector<sim::Workload>{}, std::vector<sim::Configuration>{}, arch)
+                  .empty());
+}
+
+// The schedule/address-map cache must be unobservable in the results: a
+// spec-driven sweep (shared DAG + one schedule per (workload, policy) pair,
+// fanned across threads) must be bit-identical to serial, cache-free
+// Simulator::run calls that rebuild the schedule for every single cell.
+TEST(Sweep, ScheduleCacheBitIdenticalToCacheFreeSerialRuns) {
+  const std::vector<std::string> spec_texts = {
+      "cg:m=9604,nnz=85264,n=16,iters=3",  // shape-only, analytic policies
+      "spmv:dataset=fv1,iters=4,n=4",      // real matrix: exercises cache traces
+      "sddmm:dataset=cora,heads=2",
+  };
+  // Mixed schedule policies on purpose: OpByOp, AdjacentPipeline and Score
+  // rows each share one cached schedule per workload.
+  const std::vector<std::string> config_names = {"Flexagon", "Flex+LRU", "FLAT",
+                                                 "SET",      "Cello",    "SCORE+BRRIP"};
+  const AcceleratorConfig arch;
+
+  const auto cells = SweepRunner(/*threads=*/4).run(spec_texts, config_names, arch);
+  ASSERT_EQ(cells.size(), spec_texts.size() * config_names.size());
+
+  const auto& registry = sim::ConfigRegistry::global();
+  for (size_t wi = 0; wi < spec_texts.size(); ++wi) {
+    const sim::Workload wl = sim::WorkloadRegistry::global().resolve(spec_texts[wi]);
+    const Simulator simulator(arch, wl.matrix.get());
+    for (size_t ci = 0; ci < config_names.size(); ++ci) {
+      const auto& cell = cells[wi * config_names.size() + ci];
+      EXPECT_EQ(cell.workload, wl.name);
+      EXPECT_EQ(cell.config, config_names[ci]);
+      // Cache-free reference: rebuilds schedule + address map per cell.
+      const auto reference = simulator.run(*wl.dag, registry.at(config_names[ci]));
+      EXPECT_EQ(cell.metrics.seconds, reference.seconds) << cell.workload << "/" << cell.config;
+      EXPECT_EQ(cell.metrics.dram_read_bytes, reference.dram_read_bytes)
+          << cell.workload << "/" << cell.config;
+      EXPECT_EQ(cell.metrics.dram_write_bytes, reference.dram_write_bytes)
+          << cell.workload << "/" << cell.config;
+      EXPECT_EQ(cell.metrics.sram_line_accesses, reference.sram_line_accesses)
+          << cell.workload << "/" << cell.config;
+      EXPECT_EQ(cell.metrics.onchip_energy_pj, reference.onchip_energy_pj)
+          << cell.workload << "/" << cell.config;
+      EXPECT_EQ(cell.metrics.traffic_by_tensor, reference.traffic_by_tensor)
+          << cell.workload << "/" << cell.config;
+    }
+  }
+}
+
+// Resolving the same canonical spec twice must not rebuild: the sweep's rows
+// genuinely share one immutable DAG.
+TEST(Sweep, SpecResolutionSharesOneDag) {
+  auto& registry = sim::WorkloadRegistry::global();
+  const auto a = registry.resolve("cg:m=2048,n=8,iters=2");
+  const auto b = registry.resolve("cg:m=2048,n=8,iters=2");
+  EXPECT_EQ(a.dag.get(), b.dag.get());
+  EXPECT_EQ(a.matrix.get(), b.matrix.get());
+
+  // Same workload listed twice: both rows report the canonical name and
+  // identical metrics.
+  const AcceleratorConfig arch;
+  const auto cells = SweepRunner(/*threads=*/2).run(
+      std::vector<std::string>{"cg:m=2048,n=8,iters=2", "cg:m=2048,n=8,iters=2"},
+      std::vector<std::string>{"Cello"}, arch);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].workload, "cg:iters=2,m=2048,n=8");
+  EXPECT_EQ(cells[0].metrics.seconds, cells[1].metrics.seconds);
+  EXPECT_EQ(cells[0].metrics.dram_bytes, cells[1].metrics.dram_bytes);
 }
 
 TEST(Sweep, CellErrorsPropagateAfterJoin) {

@@ -1,6 +1,8 @@
-// Structural tests for the workload DAG builders (CG, BiCGStab, GNN, ResNet).
+// Structural tests for the workload DAG builders (CG, BiCGStab, GNN, ResNet)
+// and their WorkloadRegistry spec equivalents.
 #include <gtest/gtest.h>
 
+#include "sim/workload_registry.hpp"
 #include "workloads/bicgstab.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/gnn.hpp"
@@ -9,6 +11,20 @@
 namespace {
 
 using namespace cello;
+
+// Every builder below is also reachable as a registry kind; the spec route
+// must produce structurally identical DAGs.
+TEST(WorkloadRegistryPort, SpecsMatchDirectBuilders) {
+  auto& r = sim::WorkloadRegistry::global();
+  EXPECT_EQ(r.resolve("cg:m=1000,nnz=9000,n=8,iters=10").dag->ops().size(), 80u);
+  EXPECT_EQ(r.resolve("bicgstab:m=5000,nnz=50000,iters=10").dag->ops().size(), 90u);
+  EXPECT_EQ(r.resolve("gnn:m=1000,nnz=5000").dag->ops().size(), 2u);
+  EXPECT_EQ(r.resolve("resnet").dag->ops().size(), 5u);
+  EXPECT_EQ(r.resolve("resnet").dag->tensors().size(),
+            workloads::build_resnet_block_dag({}).tensors().size());
+  EXPECT_EQ(r.resolve("spmv:m=1000,nnz=9000,iters=5").dag->ops().size(), 5u);
+  EXPECT_EQ(r.resolve("sddmm:m=1000,nnz=8000").dag->ops().size(), 2u);
+}
 
 TEST(BaseName, StripsVersionSuffix) {
   EXPECT_EQ(workloads::base_name("S@3"), "S");
