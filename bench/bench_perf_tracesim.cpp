@@ -10,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "sim/registry.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "workloads/cg.hpp"
@@ -114,6 +115,28 @@ void BM_SweepCgAnalyticRebuild(benchmark::State& state) {
   }
 }
 
+// The same grid as BM_SweepCgAnalyticShared, but split into 3 contiguous
+// shards run back-to-back and recombined with merge_shards — the overhead of
+// distributing a sweep (per-shard schedule rebuilds, plan/validate/merge
+// bookkeeping) shows up as the delta against the Shared row.  threads=1 so
+// the comparison is purely algorithmic.
+void BM_SweepSharded(benchmark::State& state) {
+  const auto arch = bench::table5_config(1e12, 4ull * 1024 * 1024);
+  const sim::SweepGrid grid =
+      sim::make_grid({"cg:iters=20,n=16"}, sweep_config_names(), arch);
+  const sim::SweepRunner runner(/*threads=*/1);
+  for (auto _ : state) {
+    std::vector<sim::ShardResult> shards(3);
+    for (u32 i = 1; i <= 3; ++i) {
+      shards[i - 1].grid = grid;
+      shards[i - 1].plan = sim::plan_shard(grid, i, 3);
+      shards[i - 1].results = runner.run_shard(grid, shards[i - 1].plan);
+    }
+    const auto merged = sim::merge_shards(shards);
+    benchmark::DoNotOptimize(merged.back().metrics.dram_bytes);
+  }
+}
+
 }  // namespace
 
 // SRAM capacity in MiB — the Fig. 16(b) sweep points.
@@ -124,5 +147,6 @@ BENCHMARK(BM_ResnetFlexBrrip)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillise
 BENCHMARK(BM_CgCello)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepCgAnalyticShared)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepCgAnalyticRebuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepSharded)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Fail (exit 1) when benchmark rows regress beyond a tolerance vs a baseline.
+
+    bench/check_regression.py CURRENT.json BASELINE.json [--max-ratio 1.25]
+                              [--filter REGEX]
+
+CURRENT is either a raw google-benchmark --benchmark_out file or a
+bench/run_bench.sh summary (BENCH_tracesim.json); BASELINE likewise (the
+checked-in bench/baseline_tracesim.json uses the summary shape).  When a
+benchmark was run with repetitions the median aggregate is used, matching
+run_bench.sh.  Rows are matched by name; only names present in BOTH files are
+compared, and at least one comparison is required (exit 2 otherwise, so a
+typo'd --filter cannot pass vacuously).
+"""
+import argparse
+import json
+import re
+import sys
+
+_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def rows_ms(path):
+    """name -> real_time in ms, from either supported file shape."""
+    with open(path) as f:
+        doc = json.load(f)
+    entries = doc.get("benchmarks", [])
+    # run_bench.sh summary shape: real_time_ms, one row per benchmark.
+    if any("real_time_ms" in e for e in entries):
+        return {e["name"]: float(e["real_time_ms"]) for e in entries if "real_time_ms" in e}
+    # Raw google-benchmark shape: prefer median aggregates when present.
+    medians = [e for e in entries
+               if e.get("run_type") == "aggregate" and e.get("aggregate_name") == "median"]
+    picked = medians or [e for e in entries if e.get("run_type", "iteration") == "iteration"]
+    out = {}
+    for e in picked:
+        name = e.get("run_name", e["name"])
+        out[name] = float(e["real_time"]) * _UNIT_TO_MS[e.get("time_unit", "ns")]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-ratio", type=float, default=1.25,
+                    help="fail when current/baseline exceeds this (default 1.25 = +25%%)")
+    ap.add_argument("--filter", default=None, help="only compare names matching this regex")
+    args = ap.parse_args()
+
+    current = rows_ms(args.current)
+    baseline = rows_ms(args.baseline)
+    pattern = re.compile(args.filter) if args.filter else None
+
+    compared, regressions, unbaselined = [], [], []
+    for name in sorted(current):
+        if pattern and not pattern.search(name):
+            continue
+        if name not in baseline:
+            unbaselined.append(name)
+            continue
+        ratio = current[name] / baseline[name]
+        compared.append((name, current[name], baseline[name], ratio))
+        if ratio > args.max_ratio:
+            regressions.append(name)
+
+    # New rows are legitimate before a baseline re-recording, but make them
+    # visible: an ungated row must never read as a gated one.
+    for name in unbaselined:
+        print(f"warning: {name} has no baseline row — not gated", file=sys.stderr)
+
+    if not compared:
+        print(f"error: no benchmark names shared between {args.current} and "
+              f"{args.baseline}" + (f" matching /{args.filter}/" if args.filter else ""),
+              file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n, *_ in compared)
+    for name, cur, base, ratio in compared:
+        flag = "  REGRESSION" if name in regressions else ""
+        print(f"  {name:<{width}}  {cur:>10.3f} ms  vs baseline {base:>10.3f} ms "
+              f"({ratio:.2f}x){flag}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} row(s) regressed beyond {args.max_ratio:.2f}x: "
+              + ", ".join(regressions), file=sys.stderr)
+        return 1
+    print(f"OK: {len(compared)} row(s) within {args.max_ratio:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,18 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
 cmake --preset release >/dev/null
-cmake --build --preset release --target bench_perf_tracesim -j "$(nproc)"
+# CMake doesn't even create the target when Google Benchmark is absent; say
+# so instead of dying on a bare "unknown target" and leaving a stale
+# BENCH_tracesim.json in place.
+if ! cmake --build --preset release --target bench_perf_tracesim -j "$(nproc)"; then
+  echo "error: could not build bench_perf_tracesim" >&2
+  echo "       (is Google Benchmark installed? CMake skips the target without it)" >&2
+  exit 1
+fi
+[[ -x ./build-release/bench_perf_tracesim ]] || {
+  echo "error: build-release/bench_perf_tracesim is missing after a successful build" >&2
+  exit 1
+}
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

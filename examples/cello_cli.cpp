@@ -8,8 +8,17 @@
 //   ./example_cello_cli run       [--workload <spec>]... [--config <name>|all]
 //                                 [--bw <GB/s>] [--sram <MiB>]
 //   ./example_cello_cli sweep     [--workload <spec>]... [--jobs <n>]
+//                                 [--shard <i>/<k>] [--shard-mode contiguous|strided]
+//                                 [--out results.json|results.csv]
 //                                 (all registered configs, parallel SweepRunner;
-//                                  one immutable DAG/schedule per workload row)
+//                                  one immutable DAG/schedule per workload row;
+//                                  --shard runs one deterministic slice of the
+//                                  grid, --out writes a machine-readable,
+//                                  bit-exact result file instead of a table)
+//   ./example_cello_cli merge     <out.json> <shard.json>...
+//                                 (recombine shard files — any order — into the
+//                                  exact row-major file a full single-process
+//                                  sweep of the same grid writes, byte for byte)
 //   ./example_cello_cli classify  [--workload <spec>]
 //   ./example_cello_cli report    [--workload <spec>]      (per-op breakdown)
 //   ./example_cello_cli workloads (list registered workload kinds + parameters)
@@ -23,8 +32,10 @@
 // documented default dataset (bicgstab -> nasa4704, gnn -> cora, power ->
 // G2_circuit) instead of the old global shallow_water1 default.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,9 +57,13 @@ struct Options {
   std::optional<i64> n;
   std::optional<i64> iters;
   std::string config = "all";
-  double bw_gbps = 1000;
-  Bytes sram_mib = 4;
+  std::optional<double> bw_gbps;  ///< default 1000
+  std::optional<Bytes> sram_mib;  ///< default 4
   u32 jobs = 0;  // 0 = hardware concurrency
+  std::optional<std::string> shard;       ///< "i/k" slice of the sweep grid
+  std::optional<std::string> shard_mode;  ///< contiguous (default) | strided
+  std::optional<std::string> out;      ///< sweep: write results here (.json/.csv)
+  std::vector<std::string> positional;  ///< merge: <out.json> <shard.json>...
 };
 
 Options parse(int argc, char** argv) {
@@ -56,8 +71,9 @@ Options parse(int argc, char** argv) {
   if (argc > 1 && argv[1][0] != '-') o.command = argv[1];
   for (int i = 2; i + 1 < argc + 1; ++i) {
     auto next = [&](const char* flag) -> std::optional<std::string> {
-      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return std::string(argv[++i]);
-      return std::nullopt;
+      if (std::strcmp(argv[i], flag) != 0) return std::nullopt;
+      if (i + 1 >= argc) throw Error(std::string("flag ") + flag + " expects a value");
+      return std::string(argv[++i]);
     };
     if (auto v = next("--workload")) o.workloads.push_back(*v);
     else if (auto v2 = next("--dataset")) o.dataset = *v2;
@@ -68,7 +84,27 @@ Options parse(int argc, char** argv) {
     else if (auto v7 = next("--sram")) o.sram_mib = static_cast<Bytes>(std::stoull(*v7));
     else if (auto v8 = next("--config")) o.config = *v8;
     else if (auto v9 = next("--jobs")) o.jobs = static_cast<u32>(std::stoul(*v9));
+    else if (auto v10 = next("--shard")) o.shard = *v10;
+    else if (auto v11 = next("--shard-mode")) o.shard_mode = *v11;
+    else if (auto v12 = next("--out")) o.out = *v12;
+    else if (argv[i][0] == '-')
+      // A typo'd flag ("--shards 2/3") must not silently run a different
+      // sweep whose mistake only surfaces at merge time; a known flag with
+      // its value missing throws from next() above.
+      throw Error(std::string("unknown flag: ") + argv[i]);
+    else o.positional.push_back(argv[i]);
   }
+  if (o.command != "merge" && !o.positional.empty())
+    throw Error("unexpected argument: " + o.positional.front());
+  // Flags a command does not consume are rejected rather than silently
+  // ignored ("run --out x.json" must not print a table and write nothing;
+  // "merge --workload gnn" must not merge an unrelated grid without comment).
+  if (o.command != "sweep" && (o.shard || o.out || o.shard_mode))
+    throw Error("--shard/--shard-mode/--out apply only to the sweep command");
+  if (o.command == "merge" &&
+      (!o.workloads.empty() || o.dataset || o.mtx || o.n || o.iters || o.bw_gbps ||
+       o.sram_mib || o.config != "all" || o.jobs != 0))
+    throw Error("merge takes only file arguments: merge <out.json> <shard.json>...");
   if (o.workloads.empty()) o.workloads.push_back("cg");
   return o;
 }
@@ -129,6 +165,63 @@ int list_workloads() {
   return 0;
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write '" + path + "'");
+  out << content;
+  if (!out.flush()) throw Error("failed writing '" + path + "'");
+}
+
+/// "--shard i/k" with 1-based i in [1, k]; plan_shard re-validates the range.
+/// Both numbers must consume their whole token — "2/3x" must not silently
+/// run shard 2/3.
+void parse_shard_flag(const std::string& text, u32& index, u32& count) {
+  const auto fail = [&]() -> u32 {
+    throw Error("--shard expects i/k (e.g. 2/3), got '" + text + "'");
+  };
+  const size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) fail();
+  const auto parse_u32 = [&](const std::string& part) -> u32 {
+    if (part.empty() || part.find_first_not_of("0123456789") != std::string::npos)
+      return fail();
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(part.c_str(), &end, 10);
+    if (end != part.c_str() + part.size() || v > 0xffffffffUL) return fail();
+    return static_cast<u32>(v);
+  };
+  index = parse_u32(text.substr(0, slash));
+  count = parse_u32(text.substr(slash + 1));
+}
+
+int merge_command(const Options& o) {
+  if (o.positional.size() < 2) {
+    std::cerr << "usage: cello_cli merge <out.json> <shard.json>...\n";
+    return 1;
+  }
+  std::vector<sim::ShardResult> shards;
+  shards.reserve(o.positional.size() - 1);
+  for (size_t i = 1; i < o.positional.size(); ++i)
+    shards.push_back(sim::shard_from_json(read_file(o.positional[i])));
+  const size_t shard_count = shards.size();
+  sim::ShardResult full;
+  full.grid = shards.front().grid;
+  full.results = sim::merge_shards(std::move(shards));
+  // A merged file IS a full single-process result file: shard 1 of 1.
+  full.plan = sim::plan_shard(full.grid, 1, 1, sim::ShardMode::Contiguous);
+  write_file(o.positional[0], sim::shard_to_json(full));
+  std::cout << "merged " << shard_count << " shard(s), " << full.results.size()
+            << " cells -> " << o.positional[0] << "\n";
+  return 0;
+}
+
 void print_workload(const sim::Workload& wl) {
   std::cout << "workload: " << wl.name << "  (" << wl.dag->ops().size() << " ops, "
             << wl.dag->edges().size() << " edges)";
@@ -156,6 +249,9 @@ int run_cli(int argc, char** argv) {
     return 0;
   }
 
+  // Pure file-to-file recombination: no workloads are built or simulated.
+  if (o.command == "merge") return merge_command(o);
+
   // Validate the command before building workloads: a typo must not trigger
   // (or mask its error behind) DAG and matrix construction.
   if (o.command != "classify" && o.command != "report" && o.command != "sweep" &&
@@ -165,11 +261,56 @@ int run_cli(int argc, char** argv) {
   }
 
   sim::AcceleratorConfig arch;
-  arch.dram_bytes_per_sec = o.bw_gbps * 1e9;
-  arch.sram_bytes = o.sram_mib * 1024 * 1024;
+  arch.dram_bytes_per_sec = o.bw_gbps.value_or(1000) * 1e9;
+  arch.sram_bytes = o.sram_mib.value_or(4) * 1024 * 1024;
 
   {
     const auto specs = workload_specs(o);
+
+    if (o.command == "sweep") {
+      // Every workload row under every registered configuration, fanned
+      // across a thread pool; each row shares one immutable DAG and one
+      // schedule per schedule policy.  Ordering is deterministic.  The grid
+      // is pinned (canonical specs + config names + arch fingerprint) so
+      // --shard slices taken on different machines merge back losslessly —
+      // and resolution happens inside run_shard, scoped to the shard, so a
+      // slice never builds (or needs the datasets of) rows it does not run.
+      std::vector<std::string> spec_texts;
+      spec_texts.reserve(specs.size());
+      for (const auto& spec : specs) spec_texts.push_back(spec.to_string());
+      const sim::SweepGrid grid =
+          sim::make_grid(spec_texts, sim::ConfigRegistry::global().names(), arch);
+      u32 shard_index = 1, shard_count = 1;
+      if (o.shard) parse_shard_flag(*o.shard, shard_index, shard_count);
+      const sim::ShardPlan plan = sim::plan_shard(
+          grid, shard_index, shard_count,
+          sim::shard_mode_from_string(o.shard_mode.value_or("contiguous")));
+      const sim::SweepRunner runner(o.jobs);
+      auto cells = runner.run_shard(grid, plan);
+      if (o.out) {
+        // A CSV export drops the grid/plan metadata merge needs; a shard of
+        // a split sweep written as CSV would be unrecoverable.
+        if (o.out->ends_with(".csv") && plan.count > 1)
+          throw Error("CSV cannot describe a mergeable shard; use a .json --out with --shard");
+        if (o.out->ends_with(".csv")) {
+          write_file(*o.out, sim::results_to_csv(cells));
+        } else {
+          sim::ShardResult shard{grid, plan, std::move(cells)};
+          write_file(*o.out, sim::shard_to_json(shard));
+        }
+        std::cout << "wrote " << *o.out << " (shard " << plan.index << "/" << plan.count
+                  << ", " << plan.cells.size() << " of " << grid.cells() << " cells)\n";
+        return 0;
+      }
+      TextTable t({"workload", "config", "GMACs/s", "time", "DRAM traffic"});
+      for (const auto& cell : cells)
+        t.add_row({cell.workload, cell.config, format_double(cell.metrics.gmacs_per_sec(), 2),
+                   format_double(cell.metrics.seconds * 1e6, 1) + " us",
+                   format_bytes(static_cast<double>(cell.metrics.dram_bytes))});
+      std::cout << t.to_string();
+      return 0;
+    }
+
     // Resolve through the registry: each distinct spec's DAG is built once
     // and shared immutably with every command below.
     std::vector<sim::Workload> workloads;
@@ -197,20 +338,6 @@ int run_cli(int argc, char** argv) {
         std::cout << "Cello per-op breakdown:\n" << sim::per_op_report(m, arch) << "\n";
         std::cout << "Traffic by tensor:\n" << sim::per_tensor_report(m);
       }
-      return 0;
-    }
-    if (o.command == "sweep") {
-      // Every workload row under every registered configuration, fanned
-      // across a thread pool; each row shares one immutable DAG and one
-      // schedule per schedule policy.  Ordering is deterministic.
-      const sim::SweepRunner runner(o.jobs);
-      const auto cells = runner.run(workloads, sim::ConfigRegistry::global().names(), arch);
-      TextTable t({"workload", "config", "GMACs/s", "time", "DRAM traffic"});
-      for (const auto& cell : cells)
-        t.add_row({cell.workload, cell.config, format_double(cell.metrics.gmacs_per_sec(), 2),
-                   format_double(cell.metrics.seconds * 1e6, 1) + " us",
-                   format_bytes(static_cast<double>(cell.metrics.dram_bytes))});
-      std::cout << t.to_string();
       return 0;
     }
     // run / simulate

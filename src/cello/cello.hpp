@@ -45,6 +45,8 @@
 #include "sim/policies/chord_policy.hpp"
 #include "sim/policies/explicit_buffers.hpp"
 #include "sim/registry.hpp"
+#include "sim/result_io.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "sim/workload_registry.hpp"

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "score/schedule.hpp"
 #include "sim/registry.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace cello::sim {
@@ -60,12 +61,22 @@ void parallel_for(u32 threads, size_t total, const std::function<void(size_t)>& 
   if (first_error) std::rethrow_exception(first_error);
 }
 
+/// `cells`, when non-null, restricts the run to those flattened row-major
+/// cell ids (shard-scoped sweep): results come back in `cells` order and only
+/// the schedules/address maps those cells touch are prebuilt.  Null runs the
+/// whole grid in row-major order.
 std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& workloads,
                                   const std::vector<Configuration>& configs,
-                                  const AcceleratorConfig& arch) {
-  const size_t total = workloads.size() * configs.size();
+                                  const AcceleratorConfig& arch,
+                                  const std::vector<size_t>* cells = nullptr) {
+  const size_t grid_size = workloads.size() * configs.size();
+  const size_t total = cells != nullptr ? cells->size() : grid_size;
   std::vector<SweepResult> out(total);
   if (total == 0) return out;
+  if (cells != nullptr)
+    for (const size_t cell : *cells)
+      CELLO_CHECK_MSG(cell < grid_size,
+                      "shard cell " << cell << " outside the " << grid_size << "-cell grid");
 
   // ---- shared immutable prebuild ----
   // One AddressMap per distinct DAG and one score::Schedule per (DAG,
@@ -97,6 +108,20 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
   std::vector<std::vector<std::optional<score::Schedule>>> scheds(
       unique_dag.size(), std::vector<std::optional<score::Schedule>>(opt_keys.size()));
 
+  // A cell-restricted (shard) run prebuilds only what its cells touch; a full
+  // run touches every (DAG, options) pair by construction.
+  const char all_needed = cells == nullptr ? 1 : 0;
+  std::vector<char> map_needed(unique_dag.size(), all_needed);
+  std::vector<std::vector<char>> sched_needed(unique_dag.size(),
+                                              std::vector<char>(opt_keys.size(), all_needed));
+  if (cells != nullptr) {
+    for (const size_t cell : *cells) {
+      const size_t di = dag_slot[cell / configs.size()];
+      map_needed[di] = 1;
+      sched_needed[di][config_slot[cell % configs.size()]] = 1;
+    }
+  }
+
   struct PrebuildJob {
     const ir::TensorDag* dag;
     size_t di;  ///< unique-DAG index
@@ -105,9 +130,9 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
   std::vector<PrebuildJob> jobs;
   jobs.reserve(unique_dag.size() * (1 + opt_keys.size()));
   for (const auto& [dag, di] : unique_dag) {
-    jobs.push_back({dag, di, -1});
+    if (map_needed[di]) jobs.push_back({dag, di, -1});
     for (size_t k = 0; k < opt_keys.size(); ++k)
-      jobs.push_back({dag, di, static_cast<i32>(k)});
+      if (sched_needed[di][k]) jobs.push_back({dag, di, static_cast<i32>(k)});
   }
 
   parallel_for(threads, jobs.size(), [&](size_t j) {
@@ -121,8 +146,9 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
 
   // ---- the grid ----
   parallel_for(threads, total, [&](size_t job) {
-    const size_t wi = job / configs.size();
-    const size_t ci = job % configs.size();
+    const size_t cell = cells != nullptr ? (*cells)[job] : job;
+    const size_t wi = cell / configs.size();
+    const size_t ci = cell % configs.size();
     const WorkloadView& wl = workloads[wi];
     const Simulator simulator(arch, wl.matrix);
     out[job] = {*wl.name, configs[ci].name,
@@ -177,6 +203,30 @@ std::vector<SweepResult> SweepRunner::run(const std::vector<std::string>& worklo
   for (const auto& text : workload_specs)
     workloads.push_back(WorkloadRegistry::global().resolve(text));
   return run(workloads, named_configs(config_names), arch);
+}
+
+std::vector<SweepResult> SweepRunner::run_shard(const SweepGrid& grid,
+                                                const ShardPlan& plan) const {
+  // Resolve (build the DAG of, load the matrix of) only the workloads the
+  // shard's cells actually touch: a shard of a dataset-heavy grid must not
+  // pay — or even require access to — the other shards' datasets.  Untouched
+  // rows keep null views; run_grid never dereferences a row no cell selects,
+  // and their names come from the grid's canonical spec strings (identical
+  // to the resolved names by construction).
+  std::vector<char> needed(grid.workloads.size(), 0);
+  for (const size_t cell : plan.cells)
+    if (!grid.configs.empty() && cell / grid.configs.size() < grid.workloads.size())
+      needed[cell / grid.configs.size()] = 1;
+  std::vector<Workload> workloads(grid.workloads.size());
+  for (size_t wi = 0; wi < grid.workloads.size(); ++wi)
+    if (needed[wi]) workloads[wi] = WorkloadRegistry::global().resolve(grid.workloads[wi]);
+  const std::vector<Configuration> configs = named_configs(grid.configs);
+  std::vector<WorkloadView> views;
+  views.reserve(workloads.size());
+  for (size_t wi = 0; wi < grid.workloads.size(); ++wi)
+    views.push_back(
+        {&grid.workloads[wi], workloads[wi].dag.get(), workloads[wi].matrix.get()});
+  return run_grid(threads_, views, configs, grid.arch, &plan.cells);
 }
 
 std::vector<SweepResult> SweepRunner::run(const std::vector<SweepWorkload>& workloads,

@@ -25,6 +25,9 @@
 
 namespace cello::sim {
 
+struct SweepGrid;  // sim/shard.hpp: full grid definition for distributed sweeps
+struct ShardPlan;  // sim/shard.hpp: one shard's slice of the grid
+
 /// Legacy pre-built-DAG row (thin shim; prefer WorkloadSpec / Workload).
 struct SweepWorkload {
   std::string name;
@@ -66,6 +69,15 @@ class SweepRunner {
   std::vector<SweepResult> run(const std::vector<std::string>& workload_specs,
                                const std::vector<std::string>& config_names,
                                const AcceleratorConfig& arch) const;
+
+  /// Shard-scoped entry point for distributed sweeps (see sim/shard.hpp):
+  /// resolve the grid's workload specs and configuration names, then run only
+  /// the plan's cells, in plan order.  The intra-sweep schedule cache is
+  /// scoped to the shard — only the (workload, schedule-policy) pairs the
+  /// shard actually touches are built — and every cell is bit-identical to
+  /// the same cell of a full-grid run, so merge_shards() reassembles the
+  /// exact single-process result vector.
+  std::vector<SweepResult> run_shard(const SweepGrid& grid, const ShardPlan& plan) const;
 
   /// Legacy pre-built-DAG overloads (shims over the Workload path).
   std::vector<SweepResult> run(const std::vector<SweepWorkload>& workloads,
