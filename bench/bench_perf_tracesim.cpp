@@ -8,6 +8,8 @@
 // and writes BENCH_tracesim.json, which future PRs diff against.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "sim/registry.hpp"
 #include "sim/shard.hpp"
@@ -137,6 +139,82 @@ void BM_SweepSharded(benchmark::State& state) {
   }
 }
 
+// ---- setup-path rows --------------------------------------------------------
+// Per-cell *setup* cost, separated from steady-state replay cost (the
+// setup_ms counter feeds the BENCH_tracesim.json perf trajectory).
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Construct + destroy the sweep CG workload's DAG (the cold half of a
+// WorkloadRegistry::resolve of "cg:iters=20,n=16").  The arena backing makes
+// both ends cheap: payloads bump-allocate, teardown frees chunks not nodes.
+void BM_DagBuild(benchmark::State& state) {
+  const auto shape = bench::cg_shape_for(sparse::dataset_by_name("shallow_water1"), 16,
+                                         /*iterations=*/20);
+  double build_seconds = 0;
+  i64 iters = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ir::TensorDag dag = workloads::build_cg_dag(shape);
+    build_seconds += seconds_since(t0);
+    ++iters;
+    benchmark::DoNotOptimize(dag.ops().size());
+  }
+  // Construction-only share of the row (the rest is destruction).
+  state.counters["setup_ms"] =
+      benchmark::Counter(iters > 0 ? build_seconds * 1e3 / static_cast<double>(iters) : 0);
+}
+
+// The 8-cell analytic CG grid with *fully shared* immutable setup — one
+// AddressMap, one Schedule + ReuseIndex per schedule-options slot — and one
+// pooled RunScratch reset between cells.  The recorded baseline row is the
+// same grid pre-PR (shared Schedule+AddressMap, but per-cell BaseReuse
+// rebuild and fresh per-cell run state), so the speedup isolates the
+// ReuseIndex share + scratch pooling.  setup_ms reports the one-time shared
+// prebuild.
+void BM_ReuseIndexShared(benchmark::State& state) {
+  const auto arch = bench::table5_config(1e12, 4ull * 1024 * 1024);
+  const auto& wl = sweep_cg_workload();
+  const auto& registry = sim::ConfigRegistry::global();
+  const sim::Simulator simulator(arch, wl.matrix.get());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const sim::AddressMap map = sim::AddressMap::build(*wl.dag);
+  std::vector<score::ScheduleOptions> keys;
+  std::vector<size_t> slot_of;
+  std::vector<score::Schedule> scheds;
+  std::vector<score::ReuseIndex> indexes;
+  for (const auto& name : sweep_config_names()) {
+    const auto opts = simulator.schedule_options(registry.at(name));
+    size_t slot = 0;
+    while (slot < keys.size() && !(keys[slot] == opts)) ++slot;
+    if (slot == keys.size()) {
+      keys.push_back(opts);
+      scheds.push_back(score::build_schedule(*wl.dag, opts));
+      indexes.push_back(
+          score::ReuseIndex::build(*wl.dag, scheds.back(), map.base_of, map.entries.size()));
+    }
+    slot_of.push_back(slot);
+  }
+  const double setup_ms = seconds_since(t0) * 1e3;
+
+  sim::RunScratch scratch;
+  for (auto _ : state) {
+    Bytes dram_bytes = 0;
+    for (size_t ci = 0; ci < sweep_config_names().size(); ++ci) {
+      const sim::Configuration& config = registry.at(sweep_config_names()[ci]);
+      dram_bytes += simulator
+                        .run(*wl.dag, config, scheds[slot_of[ci]], map, indexes[slot_of[ci]],
+                             &scratch)
+                        .dram_bytes;
+    }
+    benchmark::DoNotOptimize(dram_bytes);
+  }
+  state.counters["setup_ms"] = benchmark::Counter(setup_ms);
+}
+
 }  // namespace
 
 // SRAM capacity in MiB — the Fig. 16(b) sweep points.
@@ -148,5 +226,7 @@ BENCHMARK(BM_CgCello)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepCgAnalyticShared)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepCgAnalyticRebuild)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepSharded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DagBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReuseIndexShared)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

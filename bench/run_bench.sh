@@ -58,6 +58,11 @@ for b in medians:
     }
     if "dram_bytes" in b:
         entry["dram_bytes"] = int(b["dram_bytes"])
+    # Setup-path rows report their one-time (or per-iteration construction)
+    # setup cost as a counter, so the perf trajectory separates setup cost
+    # from steady-state replay cost.
+    if "setup_ms" in b:
+        entry["setup_ms"] = round(b["setup_ms"], 4)
     if name in baseline:
         entry["baseline_ms"] = baseline[name]
         entry["speedup"] = round(baseline[name] / b["real_time"], 2)

@@ -43,6 +43,10 @@ SetAssocCache::SetAssocCache(Bytes capacity, u32 line_bytes, u32 associativity, 
     set_shift_ = static_cast<i32>(std::countr_zero(sets_));
     set_mask_ = sets_ - 1;
   }
+  reset();
+}
+
+void SetAssocCache::reset() {
   if (fast8_) {
     tags32_.assign(sets_ * assoc_, kInvalidTag32);
     // LRU keeps recency + dirty in the rank words; only BRRIP needs the
@@ -58,6 +62,9 @@ SetAssocCache::SetAssocCache(Bytes capacity, u32 line_bytes, u32 associativity, 
     if (policy_ == Policy::Lru) lru_stamp_.assign(sets_ * assoc_, 0);
   }
   mru_way_.assign(sets_, 0);
+  stats_ = CacheStats{};
+  clock_ = 0;
+  brrip_insert_counter_ = 0;
 }
 
 // ---- generic path: any associativity ---------------------------------------

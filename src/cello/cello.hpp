@@ -19,11 +19,22 @@
 //   auto mine_m = simulator.run(*cg.dag, mine);
 //
 //   // Parallel {workloads} x {configs} grid with deterministic ordering;
-//   // each workload's DAG, schedule and address map are built once and
-//   // shared read-only across the pool:
+//   // each workload's DAG, schedule, address map and reuse index are built
+//   // once and shared read-only across the pool, and each pool worker
+//   // resets (not reallocates) its per-run scratch between cells:
 //   cello::sim::SweepRunner sweep;
 //   auto cells = sweep.run({"cg", "gnn:cora", "spmv", "sddmm:heads=4"},
 //                          registry.names(), arch);
+//
+//   // Drivers doing their own cell loops can share the same immutable
+//   // artifacts explicitly (bit-identical to the one-shot run above):
+//   auto sched = simulator.make_schedule(*cg.dag, registry.at("Cello"));
+//   auto map   = cello::sim::AddressMap::build(*cg.dag);
+//   auto reuse = cello::score::ReuseIndex::build(*cg.dag, sched, map.base_of,
+//                                                map.entries.size());
+//   cello::sim::RunScratch scratch;  // pooled per-run state, reset per run
+//   auto fast_m = simulator.run(*cg.dag, registry.at("Cello"), sched, map,
+//                               reuse, &scratch);
 //
 //   std::cout << cello::compare_table(*cg.dag, arch);    // the seven Table IV rows
 //

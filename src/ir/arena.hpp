@@ -1,0 +1,278 @@
+// Bump arena backing store for the tensor-dependency IR.
+//
+// A TensorDag owns one Arena; every node's variable-length payload (rank
+// names, dims, operand lists) lands in it contiguously, in construction
+// order.  Builds touch one warm region instead of scattering dozens of small
+// heap blocks, and tearing a DAG down frees a handful of chunks instead of
+// one allocation per node — which is what makes WorkloadRegistry::resolve()
+// and sweep/test DAG churn cheap (see ROADMAP "Arena allocation").
+//
+// ArenaVector<T> is the payload container.  It has two modes:
+//  * heap (default-constructed): owns a malloc'd block, full value semantics —
+//    this is what builder code that constructs a free-standing TensorDesc /
+//    EinsumOp gets, so existing call sites keep working unchanged;
+//  * arena (bound via TensorDag::new_tensor()/new_op(), or interned by
+//    add_tensor()/add_op()): elements live in the DAG's arena and the vector
+//    never frees — destruction only runs element destructors (a no-op for
+//    trivial payloads and SSO strings).
+// Growth in arena mode re-bumps and abandons the old block; IR payloads are
+// assign-once, so waste is negligible.  Arena-mode vectors are frozen by the
+// DAG after add — treat spans obtained from a DAG as valid exactly as long as
+// the DAG (or a copy chain's owning DAG) is alive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cello::ir {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` with `align` (<= alignof(max_align_t)).
+  void* allocate(size_t bytes, size_t align) {
+    std::byte* p = align_up(cur_, align);
+    // Signed headroom: alignment may push p past end_ (or both are null
+    // before the first chunk), so never form p + bytes until it fits.
+    if (p == nullptr || end_ - p < static_cast<std::ptrdiff_t>(bytes)) {
+      grow(bytes + align);
+      p = align_up(cur_, align);
+    }
+    cur_ = p + bytes;
+    used_ += bytes;
+    return p;
+  }
+
+  template <typename T>
+  T* allocate_array(size_t n) {
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    return n == 0 ? nullptr : static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Payload bytes handed out (excludes alignment pad and chunk slack).
+  size_t bytes_used() const { return used_; }
+  /// Total chunk bytes reserved from the heap.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  static std::byte* align_up(std::byte* p, size_t align) {
+    const auto a = static_cast<uintptr_t>(align);
+    return reinterpret_cast<std::byte*>((reinterpret_cast<uintptr_t>(p) + (a - 1)) & ~(a - 1));
+  }
+
+  void grow(size_t min_bytes) {
+    size_t want = chunks_.empty() ? kFirstChunkBytes : chunks_.back().size * 2;
+    if (want > kMaxChunkBytes) want = kMaxChunkBytes;
+    if (want < min_bytes) want = min_bytes;
+    chunks_.push_back({std::make_unique<std::byte[]>(want), want});
+    cur_ = chunks_.back().data.get();
+    end_ = cur_ + want;
+  }
+
+  static constexpr size_t kFirstChunkBytes = 4 * 1024;
+  static constexpr size_t kMaxChunkBytes = 256 * 1024;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+  std::vector<Chunk> chunks_;
+  std::byte* cur_ = nullptr;
+  std::byte* end_ = nullptr;
+  size_t used_ = 0;
+};
+
+template <typename T>
+class ArenaVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  ArenaVector() = default;
+  /// Arena-bound and empty: subsequent assigns/push_backs bump-allocate.
+  explicit ArenaVector(Arena* arena) : arena_(arena) {}
+  ArenaVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  /// Copies are always self-owned (heap mode) — a copy never aliases or
+  /// outlives another DAG's arena.
+  ArenaVector(const ArenaVector& other) { assign(other.begin(), other.end()); }
+  ArenaVector(ArenaVector&& other) noexcept
+      : data_(other.data_),
+        size_(other.size_),
+        cap_(other.cap_),
+        arena_(other.arena_),
+        owns_(other.owns_) {
+    other.release();
+  }
+  ~ArenaVector() { destroy(); }
+
+  ArenaVector& operator=(const ArenaVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  ArenaVector& operator=(ArenaVector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      arena_ = other.arena_;
+      owns_ = other.owns_;
+      other.release();
+    }
+    return *this;
+  }
+  ArenaVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  /// Interop with std::vector-built payloads (e.g. an operand list assembled
+  /// in a loop before being handed to an op).
+  ArenaVector& operator=(const std::vector<T>& v) {
+    assign(v.begin(), v.end());
+    return *this;
+  }
+  ArenaVector& operator=(std::vector<T>&& v) {
+    assign(std::make_move_iterator(v.begin()), std::make_move_iterator(v.end()));
+    return *this;
+  }
+
+  void reserve(size_t n) { ensure_capacity(n); }
+  void clear() {
+    destroy_elements();
+    size_ = 0;
+  }
+  void push_back(const T& v) {
+    if (size_ == cap_) {
+      // The argument may alias an element about to be relocated (std::vector
+      // guarantees this works) — secure the value before growing.
+      T copy(v);
+      ensure_capacity(size_ + 1);
+      new (data_ + size_) T(std::move(copy));
+    } else {
+      new (data_ + size_) T(v);
+    }
+    ++size_;
+  }
+  void push_back(T&& v) {
+    if (size_ == cap_) {
+      T moved(std::move(v));
+      ensure_capacity(size_ + 1);
+      new (data_ + size_) T(std::move(moved));
+    } else {
+      new (data_ + size_) T(std::move(v));
+    }
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* data() const { return data_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// True when the payload lives in `arena` (and will die with it).
+  bool interned_in(const Arena& arena) const {
+    return !owns_ && (data_ == nullptr || arena_ == &arena);
+  }
+
+  /// Move the payload into `arena` and freeze there: element storage becomes
+  /// arena memory, any owned heap block is released.  No-op when already
+  /// interned in this arena.  TensorDag calls this on every added node, so
+  /// stored nodes never own heap payloads regardless of how they were built.
+  void intern(Arena& arena) {
+    if (interned_in(arena)) {
+      arena_ = &arena;
+      return;
+    }
+    T* moved = arena.allocate_array<T>(size_);
+    for (size_t i = 0; i < size_; ++i) new (moved + i) T(std::move(data_[i]));
+    const size_t n = size_;
+    destroy();
+    data_ = moved;
+    size_ = static_cast<u32>(n);
+    cap_ = static_cast<u32>(n);
+    arena_ = &arena;
+    owns_ = false;
+  }
+
+ private:
+  template <typename It>
+  void assign(It first, It last) {
+    destroy_elements();
+    size_ = 0;
+    const size_t n = static_cast<size_t>(std::distance(first, last));
+    ensure_capacity(n);
+    for (T* out = data_; first != last; ++first, ++out) new (out) T(*first);
+    size_ = static_cast<u32>(n);
+  }
+
+  void ensure_capacity(size_t n) {
+    if (n <= cap_) return;
+    size_t want = cap_ == 0 ? n : cap_ * 2;
+    if (want < n) want = n;
+    T* fresh = arena_ != nullptr
+                   ? arena_->allocate_array<T>(want)
+                   : static_cast<T*>(::operator new(want * sizeof(T), std::align_val_t(alignof(T))));
+    for (size_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (owns_) free_block();
+    data_ = fresh;
+    cap_ = static_cast<u32>(want);
+    owns_ = arena_ == nullptr;
+  }
+
+  void destroy_elements() {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    }
+  }
+  void free_block() {
+    ::operator delete(static_cast<void*>(data_), std::align_val_t(alignof(T)));
+  }
+  void destroy() {
+    destroy_elements();
+    if (owns_ && data_ != nullptr) free_block();
+  }
+  /// Forget the payload (after a move-out); keeps the arena binding so a
+  /// moved-from builder node can be refilled.
+  void release() {
+    data_ = nullptr;
+    size_ = 0;
+    cap_ = 0;
+    owns_ = false;
+  }
+
+  T* data_ = nullptr;
+  u32 size_ = 0;
+  u32 cap_ = 0;
+  Arena* arena_ = nullptr;  ///< allocation source; null = heap mode
+  bool owns_ = false;       ///< data_ is a heap block this vector must free
+};
+
+}  // namespace cello::ir

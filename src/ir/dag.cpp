@@ -8,11 +8,80 @@
 
 namespace cello::ir {
 
+TensorDag::TensorDag(const TensorDag& other)
+    : arena_(std::make_unique<Arena>()),
+      tensors_(other.tensors_),
+      ops_(other.ops_),
+      edges_(other.edges_),
+      external_(other.external_),
+      producer_of_(other.producer_of_) {
+  // The member copies are self-owned (ArenaVector copies never alias the
+  // source arena); re-intern them so the copy is arena-backed like any DAG.
+  for (auto& t : tensors_) {
+    t.ranks.intern(*arena_);
+    t.dims.intern(*arena_);
+  }
+  for (auto& op : ops_) {
+    op.ranks.intern(*arena_);
+    op.inputs.intern(*arena_);
+  }
+  // Adjacency lists are rebuilt against the copy's own arena.
+  consumers_of_ = other.consumers_of_;
+  tensor_edges_ = other.tensor_edges_;
+  out_edges_ = other.out_edges_;
+  in_edges_ = other.in_edges_;
+  for (auto& v : consumers_of_) v.intern(*arena_);
+  for (auto& v : tensor_edges_) v.intern(*arena_);
+  for (auto& v : out_edges_) v.intern(*arena_);
+  for (auto& v : in_edges_) v.intern(*arena_);
+}
+
+TensorDag& TensorDag::operator=(TensorDag&& other) noexcept {
+  if (this != &other) {
+    // Arena-resident payloads must die before their arena: a defaulted
+    // member-wise move assigns arena_ first, freeing the chunks this DAG's
+    // nodes still point into.
+    tensors_.clear();
+    ops_.clear();
+    edges_.clear();
+    external_.clear();
+    producer_of_.clear();
+    consumers_of_.clear();
+    tensor_edges_.clear();
+    out_edges_.clear();
+    in_edges_.clear();
+    arena_ = std::move(other.arena_);
+    tensors_ = std::move(other.tensors_);
+    ops_ = std::move(other.ops_);
+    edges_ = std::move(other.edges_);
+    external_ = std::move(other.external_);
+    producer_of_ = std::move(other.producer_of_);
+    consumers_of_ = std::move(other.consumers_of_);
+    tensor_edges_ = std::move(other.tensor_edges_);
+    out_edges_ = std::move(other.out_edges_);
+    in_edges_ = std::move(other.in_edges_);
+  }
+  return *this;
+}
+
+TensorDag& TensorDag::operator=(const TensorDag& other) {
+  if (this != &other) {
+    TensorDag copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
 TensorId TensorDag::add_tensor(TensorDesc t) {
   t.id = static_cast<TensorId>(tensors_.size());
   CELLO_CHECK_MSG(t.ranks.size() == t.dims.size(),
                   "tensor " << t.name << ": ranks/dims size mismatch");
+  t.ranks.intern(*arena_);
+  t.dims.intern(*arena_);
   tensors_.push_back(std::move(t));
+  producer_of_.push_back(kInvalidOp);
+  consumers_of_.emplace_back(arena_.get());
+  tensor_edges_.emplace_back(arena_.get());
   return tensors_.back().id;
 }
 
@@ -20,7 +89,18 @@ OpId TensorDag::add_op(EinsumOp op) {
   op.id = static_cast<OpId>(ops_.size());
   for (TensorId in : op.inputs) CELLO_CHECK(in >= 0 && in < static_cast<i32>(tensors_.size()));
   CELLO_CHECK(op.output >= 0 && op.output < static_cast<i32>(tensors_.size()));
+  // First producing op wins, matching the old first-match scan of ops().
+  if (producer_of_[op.output] == kInvalidOp) producer_of_[op.output] = op.id;
+  for (size_t i = 0; i < op.inputs.size(); ++i) {
+    bool repeat = false;  // an op consuming a tensor twice (R^T R) lists once
+    for (size_t j = 0; j < i; ++j) repeat = repeat || op.inputs[j] == op.inputs[i];
+    if (!repeat) consumers_of_[op.inputs[i]].push_back(op.id);
+  }
+  op.ranks.intern(*arena_);
+  op.inputs.intern(*arena_);
   ops_.push_back(std::move(op));
+  out_edges_.emplace_back(arena_.get());
+  in_edges_.emplace_back(arena_.get());
   return ops_.back().id;
 }
 
@@ -36,6 +116,9 @@ EdgeId TensorDag::add_edge(OpId src, OpId dst, TensorId tensor) {
   e.dst = dst;
   e.tensor = tensor;
   edges_.push_back(e);
+  out_edges_[src].push_back(e.id);
+  in_edges_[dst].push_back(e.id);
+  tensor_edges_[tensor].push_back(e.id);
   return e.id;
 }
 
@@ -54,33 +137,6 @@ const Edge& TensorDag::edge(EdgeId e) const {
   return edges_[e];
 }
 
-std::vector<EdgeId> TensorDag::out_edges(OpId o) const {
-  std::vector<EdgeId> out;
-  for (const auto& e : edges_)
-    if (e.src == o) out.push_back(e.id);
-  return out;
-}
-
-std::vector<EdgeId> TensorDag::in_edges(OpId o) const {
-  std::vector<EdgeId> in;
-  for (const auto& e : edges_)
-    if (e.dst == o) in.push_back(e.id);
-  return in;
-}
-
-std::vector<OpId> TensorDag::consumers(TensorId t) const {
-  std::vector<OpId> cs;
-  for (const auto& o : ops_)
-    if (std::find(o.inputs.begin(), o.inputs.end(), t) != o.inputs.end()) cs.push_back(o.id);
-  return cs;
-}
-
-std::optional<OpId> TensorDag::producer(TensorId t) const {
-  for (const auto& o : ops_)
-    if (o.output == t) return o.id;
-  return std::nullopt;
-}
-
 std::vector<OpId> TensorDag::topo_order() const {
   std::vector<i32> indeg(ops_.size(), 0);
   for (const auto& e : edges_) ++indeg[e.dst];
@@ -95,8 +151,8 @@ std::vector<OpId> TensorDag::topo_order() const {
     const OpId u = ready.top();
     ready.pop();
     order.push_back(u);
-    for (const auto& e : edges_)
-      if (e.src == u && --indeg[e.dst] == 0) ready.push(e.dst);
+    for (const EdgeId eid : out_edges_[u])
+      if (--indeg[edges_[eid].dst] == 0) ready.push(edges_[eid].dst);
   }
   CELLO_CHECK_MSG(order.size() == ops_.size(), "DAG has a cycle");
   return order;
@@ -113,8 +169,8 @@ std::vector<OpId> TensorDag::longest_path(OpId src, OpId dst) const {
   dist[src] = 0;
   for (OpId u : order) {
     if (dist[u] < 0) continue;
-    for (const auto& e : edges_) {
-      if (e.src != u) continue;
+    for (const EdgeId eid : out_edges_[u]) {
+      const Edge& e = edges_[eid];
       if (dist[u] + 1 > dist[e.dst]) {
         dist[e.dst] = dist[u] + 1;
         pred[e.dst] = u;

@@ -77,8 +77,9 @@ Classification classify(const ir::TensorDag& dag) {
     for (size_t i = 0; i + 1 < path.size() && all_pipeline; ++i) {
       // Every consecutive pair on a longest path is joined by a direct edge.
       bool hop_ok = false;
-      for (const auto& hop : dag.edges()) {
-        if (hop.src != path[i] || hop.dst != path[i + 1]) continue;
+      for (const ir::EdgeId eid : dag.out_edges(path[i])) {
+        const ir::Edge& hop = dag.edge(eid);
+        if (hop.dst != path[i + 1]) continue;
         if (adjacent_kind(dag, hop) == DepKind::Pipelineable) hop_ok = true;
       }
       all_pipeline = hop_ok;
@@ -109,8 +110,9 @@ Classification classify_scheduled(const ir::TensorDag& dag, const std::vector<ir
   // the adjacent rules.
   std::vector<bool> hop_pipes(order.size(), false);
   for (size_t p = 0; p + 1 < order.size(); ++p) {
-    for (const auto& e : dag.edges()) {
-      if (e.src != order[p] || e.dst != order[p + 1]) continue;
+    for (const ir::EdgeId eid : dag.out_edges(order[p])) {
+      const ir::Edge& e = dag.edge(eid);
+      if (e.dst != order[p + 1]) continue;
       if (adjacent_kind(dag, e) == DepKind::Pipelineable) hop_pipes[p] = true;
     }
   }

@@ -191,10 +191,11 @@ Schedule build_schedule(const ir::TensorDag& dag, const ScheduleOptions& opts) {
   for (size_t i = 0; i < s.steps.size(); ++i) {
     if (i > 0) {
       bool joined = false;
-      for (const auto& e : dag.edges())
-        if (e.src == s.steps[i - 1].op && e.dst == s.steps[i].op && s.edge_realized[e.id] &&
-            pos[e.dst] - pos[e.src] == 1)
+      for (const ir::EdgeId eid : dag.out_edges(s.steps[i - 1].op)) {
+        const ir::Edge& e = dag.edge(eid);
+        if (e.dst == s.steps[i].op && s.edge_realized[e.id] && pos[e.dst] - pos[e.src] == 1)
           joined = true;
+      }
       if (!joined) ++group;
     }
     s.steps[i].pipeline_group = group;
@@ -219,8 +220,8 @@ Schedule build_schedule(const ir::TensorDag& dag, const ScheduleOptions& opts) {
       continue;
     }
     bool all_pipelined = dag.producer(t.id).has_value();
-    for (const auto& e : dag.edges())
-      if (e.tensor == t.id && !s.edge_realized[e.id]) all_pipelined = false;
+    for (const ir::EdgeId eid : dag.tensor_edges(t.id))
+      if (!s.edge_realized[eid]) all_pipelined = false;
     s.residency[t.id] = all_pipelined ? Residency::PipelineBuffer : Residency::Chord;
   }
   return s;

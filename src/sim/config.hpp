@@ -46,6 +46,11 @@ struct AcceleratorConfig {
     return static_cast<double>(macs) / (static_cast<double>(num_macs) * clock_hz);
   }
   double dram_seconds(Bytes b) const { return static_cast<double>(b) / dram_bytes_per_sec; }
+
+  /// Field-wise equality — RunScratch keys its pooled buffer policies on the
+  /// effective arch so a scratch reused across architectures rebuilds instead
+  /// of silently replaying against stale geometry.
+  bool operator==(const AcceleratorConfig&) const = default;
 };
 
 }  // namespace cello::sim

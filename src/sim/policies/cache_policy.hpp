@@ -28,6 +28,13 @@ class CachePolicy final : public BufferPolicy {
   }
   bool trace_driven() const override { return true; }
 
+  bool reusable() const override { return true; }
+  void reset() override {
+    cache_.reset();
+    large_in_.clear();
+    small_in_.clear();
+  }
+
   BufferService service_op(const OpTrace& trace) override;
 
   /// End-of-run flush of dirty lines.

@@ -16,6 +16,9 @@ class ChordPolicy final : public BufferPolicy {
 
   const char* name() const override { return riff_ ? "CHORD" : "PRELUDE"; }
 
+  bool reusable() const override { return true; }
+  void reset() override { buf_.reset(); }
+
   BufferService read_tensor(const chord::TensorMeta& t) override;
   BufferService write_tensor(const chord::TensorMeta& t) override;
   void retire(i32 base_id) override { buf_.retire(base_id); }

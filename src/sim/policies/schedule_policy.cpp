@@ -36,8 +36,8 @@ std::vector<bool> pipelined_tensors(const ir::TensorDag& dag, const score::Sched
     if (dag.consumers(t.id).empty()) continue;
     bool ok = true;
     bool uses_hold = false;
-    for (const auto& e : dag.edges()) {
-      if (e.tensor != t.id) continue;
+    for (const ir::EdgeId eid : dag.tensor_edges(t.id)) {
+      const ir::Edge& e = dag.edge(eid);
       if (!sched.edge_realized[e.id]) {
         ok = false;
         break;
@@ -78,9 +78,11 @@ Route Router::route_input(const ir::EinsumOp& op, ir::TensorId in) const {
       return piped_[in] ? Route::PipelineBuffer : Route::Buffer;
     case SchedulePolicy::Score: {
       if (auto p = dag_.producer(in)) {
-        for (const auto& e : dag_.edges())
-          if (e.src == *p && e.dst == op.id && e.tensor == in && sched_.edge_realized[e.id])
+        for (const ir::EdgeId eid : dag_.out_edges(*p)) {
+          const ir::Edge& e = dag_.edge(eid);
+          if (e.dst == op.id && e.tensor == in && sched_.edge_realized[e.id])
             return Route::PipelineBuffer;
+        }
       }
       if (res_[in] == Residency::RegisterFile) return Route::RegisterFile;
       return Route::Buffer;
@@ -110,8 +112,9 @@ Route Router::route_output(const ir::EinsumOp& op) const {
 }
 
 bool Router::linked_onchip(ir::OpId prev, ir::OpId cur) const {
-  for (const auto& e : dag_.edges()) {
-    if (e.src != prev || e.dst != cur) continue;
+  for (const ir::EdgeId eid : dag_.out_edges(prev)) {
+    const ir::Edge& e = dag_.edge(eid);
+    if (e.dst != cur) continue;
     const bool onchip =
         policy_ == SchedulePolicy::Score ? sched_.edge_realized[e.id] : piped_[e.tensor];
     if (onchip) return true;

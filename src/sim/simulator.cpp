@@ -14,43 +14,13 @@ namespace {
 
 using score::Schedule;
 
-/// Per-base-tensor reuse bookkeeping: the union of the use positions of every
-/// per-iteration instance sharing the base buffer.
-///
-/// The simulator queries at monotonically non-decreasing step positions, so
-/// each base keeps a cursor at the first use position beyond the last queried
-/// step: remaining_after / next_distance are O(1) amortized instead of a
-/// binary search per query.
-struct BaseReuse {
-  std::vector<std::vector<i64>> uses;  ///< per base id, sorted step positions
-  std::vector<size_t> cursor;          ///< per base id: first index with uses[i] > last pos
-
-  static BaseReuse build(const ir::TensorDag& dag, const Schedule& sched, const AddressMap& map) {
-    BaseReuse r;
-    r.uses.assign(map.entries.size(), {});
-    r.cursor.assign(map.entries.size(), 0);
-    for (const auto& t : dag.tensors())
-      for (i64 p : sched.use_positions[t.id]) r.uses[map.base_id(t.id)].push_back(p);
-    for (auto& u : r.uses) std::sort(u.begin(), u.end());
-    return r;
-  }
-
-  size_t advance(i32 base, i64 pos) {
-    const auto& u = uses[base];
-    size_t& c = cursor[base];
-    while (c < u.size() && u[c] <= pos) ++c;
-    return c;
-  }
-  i32 remaining_after(i32 base, i64 pos) {
-    return static_cast<i32>(uses[base].size() - advance(base, pos));
-  }
-  i64 next_distance(i32 base, i64 pos) {
-    const size_t c = advance(base, pos);
-    return c == uses[base].size() ? -1 : uses[base][c] - pos;
-  }
-};
-
 }  // namespace
+
+// Out-of-line so the header can hold BufferPolicy by forward declaration.
+RunScratch::RunScratch() = default;
+RunScratch::~RunScratch() = default;
+RunScratch::RunScratch(RunScratch&&) noexcept = default;
+RunScratch& RunScratch::operator=(RunScratch&&) noexcept = default;
 
 AcceleratorConfig Simulator::effective_arch(const Configuration& config) const {
   AcceleratorConfig arch = arch_;
@@ -88,14 +58,45 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
 
 RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
                           const Schedule& sched, const AddressMap& map) const {
+  const score::ReuseIndex reuse =
+      score::ReuseIndex::build(dag, sched, map.base_of, map.entries.size());
+  return run(dag, config, sched, map, reuse, nullptr);
+}
+
+RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
+                          const Schedule& sched, const AddressMap& map,
+                          const score::ReuseIndex& reuse_index, RunScratch* scratch) const {
   CELLO_CHECK_MSG(static_cast<bool>(config.buffers),
                   "configuration '" << config.name << "' has no buffer policy factory");
+  CELLO_CHECK_MSG(reuse_index.num_bases() == map.entries.size(),
+                  "reuse index covers " << reuse_index.num_bases() << " bases, address map "
+                                        << map.entries.size()
+                                        << " — artifacts from different workloads?");
   const AcceleratorConfig arch = effective_arch(config);
-  BaseReuse reuse = BaseReuse::build(dag, sched, map);
   const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
-  const std::unique_ptr<BufferPolicy> policy = config.buffers(arch);
-  const bool trace = policy->trace_driven();
   const size_t n_bases = map.entries.size();
+
+  // All per-run mutable state lives in a RunScratch; without a caller-owned
+  // one this run uses a private scratch (identical behavior, fresh storage).
+  RunScratch local;
+  RunScratch& s = scratch != nullptr ? *scratch : local;
+
+  // The buffer policy: pooled policies are reset to constructed state instead
+  // of reconstructed (cache arrays, CHORD tables keep their storage); configs
+  // whose policy cannot guarantee that — or whose effective arch changed
+  // since the pooled instance was built — get a fresh instance.
+  RunScratch::PooledPolicy& slot = s.policies_[config.name];
+  if (slot.policy != nullptr && slot.policy->reusable() && slot.arch == arch) {
+    slot.policy->reset();
+  } else {
+    slot.policy = config.buffers(arch);
+    slot.arch = arch;
+  }
+  BufferPolicy* const policy = slot.policy.get();
+  const bool trace = policy->trace_driven();
+
+  score::ReuseCursor& reuse = s.cursor_;
+  reuse.reset(reuse_index);
 
   RunMetrics metrics;
   metrics.reserve_steps(sched.steps.size());
@@ -104,8 +105,10 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
   // materialized into the name-keyed map once at the end (no string-keyed
   // map lookups on the hot path).  `touched` preserves which bases appeared,
   // so zero-byte attributions still materialize like they used to.
-  std::vector<Bytes> traffic(n_bases, 0);
-  std::vector<u8> traffic_touched(n_bases, 0);
+  std::vector<Bytes>& traffic = s.traffic_;
+  traffic.assign(n_bases, 0);
+  std::vector<u8>& traffic_touched = s.traffic_touched_;
+  traffic_touched.assign(n_bases, 0);
 
   auto attribute_read = [&](Bytes b, i32 base) {
     metrics.dram_read_bytes += b;
@@ -124,34 +127,47 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
     m.name = map.of(t.id).base;
     m.start_addr = map.of(t.id).start;
     m.bytes = t.bytes();
-    m.remaining_uses = reuse.remaining_after(m.id, step);
-    m.next_use_distance = reuse.next_distance(m.id, step);
+    m.remaining_uses = reuse.remaining_after(reuse_index, m.id, step);
+    m.next_use_distance = reuse.next_distance(reuse_index, m.id, step);
     return m;
   };
 
   // External register-file-resident bases already fetched once.
-  std::vector<u8> rf_loaded(n_bases, 0);
+  std::vector<u8>& rf_loaded = s.rf_loaded_;
+  rf_loaded.assign(n_bases, 0);
 
   // Bases whose final version is a result stay resident until the
   // end-of-run drain instead of being retired at their last consumption.
-  std::vector<u8> result_base(n_bases, 0);
+  std::vector<u8>& result_base = s.result_base_;
+  result_base.assign(n_bases, 0);
   for (const auto& t : dag.tensors())
     if (t.is_result) result_base[map.base_id(t.id)] = 1;
 
   // Per-pipeline-group timing accumulators: consecutive steps linked by an
   // on-chip serviced edge share a group (Parallel pipeline style only);
   // everything else is op-by-op.
-  std::vector<double> group_compute, group_dram;
+  std::vector<double>& group_compute = s.group_compute_;
+  std::vector<double>& group_dram = s.group_dram_;
+  group_compute.clear();
+  group_dram.clear();
   group_compute.reserve(sched.steps.size() + 1);
   group_dram.reserve(sched.steps.size() + 1);
   i32 cur_group = -1;
 
   // Scratch for per-step input-base dedup (op arity is tiny; sorted so the
   // retirement order matches the old std::set iteration).
-  std::vector<i32> retire_bases;
+  std::vector<i32>& retire_bases = s.retire_bases_;
+  retire_bases.clear();
   retire_bases.reserve(8);
 
   u64 pipeline_sram_lines = 0;  ///< pipeline-buffer staging accesses
+
+  // Hoisted per-step trace descriptor: only the op fields change per step,
+  // so the operand list's storage is reused across the whole run.
+  OpTrace op_trace;
+  op_trace.dag = &dag;
+  op_trace.map = &map;
+  op_trace.matrix = matrix_;
 
   for (size_t i = 0; i < sched.steps.size(); ++i) {
     const ir::EinsumOp& op = dag.op(sched.steps[i].op);
@@ -169,7 +185,7 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
     metrics.total_macs += op.macs();
 
     Bytes op_dram = 0;
-    OpTrace op_trace;  // filled only for trace-driven policies
+    op_trace.inputs.clear();  // refilled only for trace-driven policies
 
     // ---- inputs ----
     for (size_t ii = 0; ii < op.inputs.size(); ++ii) {
@@ -240,10 +256,7 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
     }
 
     if (trace) {
-      op_trace.dag = &dag;
       op_trace.op = &op;
-      op_trace.map = &map;
-      op_trace.matrix = matrix_;
       op_trace.service_output = out_route == Route::Buffer;
       op_dram += policy->service_op(op_trace).total();
     }
@@ -259,7 +272,8 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
     }
     std::sort(retire_bases.begin(), retire_bases.end());
     for (i32 base : retire_bases)
-      if (reuse.remaining_after(base, step) == 0 && !result_base[base]) policy->retire(base);
+      if (reuse.remaining_after(reuse_index, base, step) == 0 && !result_base[base])
+        policy->retire(base);
 
     group_dram[cur_group] += arch.dram_seconds(op_dram);
   }

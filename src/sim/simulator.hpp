@@ -13,7 +13,13 @@
 // BufferPolicy is built per run — which is what SweepRunner exploits.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "ir/dag.hpp"
+#include "score/reuse_index.hpp"
 #include "score/schedule.hpp"
 #include "sim/address_map.hpp"
 #include "sim/config.hpp"
@@ -22,6 +28,49 @@
 #include "sparse/csr.hpp"
 
 namespace cello::sim {
+
+class BufferPolicy;
+
+/// Reusable per-run state: the simulator's per-base scratch vectors, the
+/// reuse cursors, and a pool of reset-instead-of-reconstructed BufferPolicy
+/// instances (keyed by configuration name + the constructing arch, so a
+/// scratch reused across architectures rebuilds instead of replaying stale
+/// geometry).  One RunScratch belongs to one caller thread at a time and to
+/// one configuration set — names must identify policies uniquely, since a
+/// pooled policy is reused whenever its configuration name recurs.
+/// SweepRunner owns one per pool worker, so a sweep cell's setup reuses the
+/// previous cell's capacity instead of reallocating.
+/// Runs through a scratch are bit-identical to fresh-state runs: every vector
+/// is re-assigned per run and pooled policies must restore constructed state
+/// in reset() (see BufferPolicy::reusable()).
+class RunScratch {
+ public:
+  RunScratch();
+  ~RunScratch();
+  RunScratch(RunScratch&&) noexcept;
+  RunScratch& operator=(RunScratch&&) noexcept;
+  RunScratch(const RunScratch&) = delete;
+  RunScratch& operator=(const RunScratch&) = delete;
+
+ private:
+  friend class Simulator;
+  score::ReuseCursor cursor_;
+  std::vector<Bytes> traffic_;
+  std::vector<u8> traffic_touched_;
+  std::vector<u8> rf_loaded_;
+  std::vector<u8> result_base_;
+  std::vector<double> group_compute_;
+  std::vector<double> group_dram_;
+  std::vector<i32> retire_bases_;
+  /// Pooled policies by configuration name.  The constructing arch rides
+  /// along so a reuse with a different effective arch rebuilds instead of
+  /// silently replaying against stale geometry.
+  struct PooledPolicy {
+    std::unique_ptr<BufferPolicy> policy;
+    AcceleratorConfig arch;
+  };
+  std::map<std::string, PooledPolicy> policies_;
+};
 
 class Simulator {
  public:
@@ -37,6 +86,14 @@ class Simulator {
   /// schedule-policy) pair instead of once per sweep cell.
   RunMetrics run(const ir::TensorDag& dag, const Configuration& config,
                  const score::Schedule& sched, const AddressMap& map) const;
+  /// Fully shared setup: additionally takes the immutable ReuseIndex
+  /// (score::ReuseIndex::build(dag, sched, map.base_of, map.entries.size()))
+  /// and, optionally, a RunScratch whose vectors and pooled policies are
+  /// reset — not reallocated — for this run.  Bit-identical to the overloads
+  /// above; this is the per-cell fast path SweepRunner drives.
+  RunMetrics run(const ir::TensorDag& dag, const Configuration& config,
+                 const score::Schedule& sched, const AddressMap& map,
+                 const score::ReuseIndex& reuse, RunScratch* scratch = nullptr) const;
   /// Convenience: resolve `config_name` in the global ConfigRegistry (throws
   /// cello::Error for unknown names).
   RunMetrics run(const ir::TensorDag& dag, const std::string& config_name) const;

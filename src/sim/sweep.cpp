@@ -27,21 +27,30 @@ struct WorkloadView {
   const sparse::CsrMatrix* matrix;  ///< may be null
 };
 
-/// Run body(0..total) over a pool of `threads` workers.  The first exception
-/// thrown by any job makes every worker abandon the remaining jobs instead
-/// of burning through them; it is rethrown once the workers stop.
-void parallel_for(u32 threads, size_t total, const std::function<void(size_t)>& body) {
+/// Worker-pool size for `total` jobs (parallel_for uses exactly this many).
+u32 worker_count(u32 threads, size_t total) {
+  u32 n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  return std::max<u32>(1, std::min<u32>(n, static_cast<u32>(total)));
+}
+
+/// Run body(0..total) over a pool of `threads` workers; `worker` identifies
+/// the executing worker (0..worker_count-1), so callers can hand each one
+/// private reusable state.  The first exception thrown by any job makes
+/// every worker abandon the remaining jobs instead of burning through them;
+/// it is rethrown once the workers stop.
+void parallel_for(u32 threads, size_t total,
+                  const std::function<void(size_t job, u32 worker)>& body) {
   if (total == 0) return;
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  auto worker = [&]() {
+  auto worker = [&](u32 me) {
     for (size_t job; (job = next.fetch_add(1)) < total;) {
       if (failed.load(std::memory_order_relaxed)) return;
       try {
-        body(job);
+        body(job, me);
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(error_mu);
@@ -50,12 +59,11 @@ void parallel_for(u32 threads, size_t total, const std::function<void(size_t)>& 
     }
   };
 
-  u32 n = threads != 0 ? threads : std::thread::hardware_concurrency();
-  n = std::max<u32>(1, std::min<u32>(n, static_cast<u32>(total)));
+  const u32 n = worker_count(threads, total);
   std::vector<std::thread> pool;
   pool.reserve(n - 1);
-  for (u32 t = 0; t + 1 < n; ++t) pool.emplace_back(worker);
-  worker();  // the calling thread is the n-th worker
+  for (u32 t = 0; t + 1 < n; ++t) pool.emplace_back(worker, t);
+  worker(n - 1);  // the calling thread is the n-th worker
   for (auto& th : pool) th.join();
 
   if (first_error) std::rethrow_exception(first_error);
@@ -107,6 +115,11 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
   std::vector<std::optional<AddressMap>> maps(unique_dag.size());
   std::vector<std::vector<std::optional<score::Schedule>>> scheds(
       unique_dag.size(), std::vector<std::optional<score::Schedule>>(opt_keys.size()));
+  // The immutable reuse index rides next to its schedule: it derives from
+  // (schedule, address map), so it shares their (DAG, options) cache slots
+  // and the same read-only-across-the-pool lifetime.
+  std::vector<std::vector<std::optional<score::ReuseIndex>>> reuse(
+      unique_dag.size(), std::vector<std::optional<score::ReuseIndex>>(opt_keys.size()));
 
   // A cell-restricted (shard) run prebuilds only what its cells touch; a full
   // run touches every (DAG, options) pair by construction.
@@ -135,7 +148,7 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
       if (sched_needed[di][k]) jobs.push_back({dag, di, static_cast<i32>(k)});
   }
 
-  parallel_for(threads, jobs.size(), [&](size_t j) {
+  parallel_for(threads, jobs.size(), [&](size_t j, u32 /*worker*/) {
     const PrebuildJob& job = jobs[j];
     if (job.slot < 0) {
       maps[job.di].emplace(AddressMap::build(*job.dag));
@@ -144,8 +157,26 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     }
   });
 
+  // Second prebuild wave: reuse indexes need both the schedule and the
+  // address map of their slot, so they build once those exist.
+  std::vector<PrebuildJob> reuse_jobs;
+  reuse_jobs.reserve(jobs.size());
+  for (const auto& [dag, di] : unique_dag)
+    for (size_t k = 0; k < opt_keys.size(); ++k)
+      if (sched_needed[di][k]) reuse_jobs.push_back({dag, di, static_cast<i32>(k)});
+  parallel_for(threads, reuse_jobs.size(), [&](size_t j, u32 /*worker*/) {
+    const PrebuildJob& job = reuse_jobs[j];
+    reuse[job.di][job.slot].emplace(
+        score::ReuseIndex::build(*job.dag, *scheds[job.di][job.slot],
+                                 maps[job.di]->base_of, maps[job.di]->entries.size()));
+  });
+
   // ---- the grid ----
-  parallel_for(threads, total, [&](size_t job) {
+  // Each pool worker owns one RunScratch: per-cell mutable state (reuse
+  // cursors, attribution scratch, pooled buffer policies) is reset, not
+  // reallocated, between the cells that worker executes.
+  std::vector<RunScratch> scratches(worker_count(threads, total));
+  parallel_for(threads, total, [&](size_t job, u32 worker) {
     const size_t cell = cells != nullptr ? (*cells)[job] : job;
     const size_t wi = cell / configs.size();
     const size_t ci = cell % configs.size();
@@ -153,7 +184,8 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     const Simulator simulator(arch, wl.matrix);
     out[job] = {*wl.name, configs[ci].name,
                 simulator.run(*wl.dag, configs[ci], *scheds[dag_slot[wi]][config_slot[ci]],
-                              *maps[dag_slot[wi]])};
+                              *maps[dag_slot[wi]], *reuse[dag_slot[wi]][config_slot[ci]],
+                              &scratches[worker])};
   });
   return out;
 }

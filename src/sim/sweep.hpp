@@ -6,11 +6,13 @@
 // Workloads enter the grid as registry specs ("cg:m=65536,n=16", "gnn:cora")
 // or as resolved sim::Workload handles; each spec's DAG is built once per
 // sweep and shared immutably across its row.  Per (workload, schedule-policy)
-// pair the runner also builds one immutable score::Schedule + AddressMap and
-// shares it read-only across the pool — configurations differing only in
-// their buffer policy reuse the same schedule instead of rebuilding it per
-// cell.  Mutable per-run state (the BufferPolicy, reuse cursors) is still
-// freshly constructed inside every cell, so cells share no mutable state.
+// pair the runner also builds one immutable score::Schedule + AddressMap +
+// score::ReuseIndex and shares them read-only across the pool —
+// configurations differing only in their buffer policy reuse the same
+// schedule and reuse table instead of rebuilding them per cell.  Mutable
+// per-run state lives in one RunScratch per pool worker (reuse cursors,
+// attribution scratch, pooled reset-between-cells buffer policies); workers
+// never share it, and every cell stays bit-identical to a fresh serial run.
 #pragma once
 
 #include <string>

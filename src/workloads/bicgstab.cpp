@@ -11,21 +11,21 @@ using ir::TensorDesc;
 using ir::TensorId;
 
 TensorId add_vector(TensorDag& dag, const std::string& name, i64 m, i64 n, Bytes w) {
-  TensorDesc t;
+  TensorDesc t = dag.new_tensor();
   t.name = name;
   t.ranks = {"m", "n"};
   t.dims = {m, n};
   t.word_bytes = w;
-  return dag.add_tensor(t);
+  return dag.add_tensor(std::move(t));
 }
 
 TensorId add_scalar(TensorDag& dag, const std::string& name, i64 n, Bytes w) {
-  TensorDesc t;
+  TensorDesc t = dag.new_tensor();
   t.name = name;
   t.ranks = {"n'", "n"};
   t.dims = {n, n};
   t.word_bytes = w;
-  return dag.add_tensor(t);
+  return dag.add_tensor(std::move(t));
 }
 
 }  // namespace
@@ -37,14 +37,14 @@ ir::TensorDag build_bicgstab_dag(const BiCgStabShape& shape) {
   const Bytes w = shape.word_bytes;
   const i64 occupancy = std::max<i64>(1, shape.nnz / shape.m);
 
-  TensorDesc a;
+  TensorDesc a = dag.new_tensor();
   a.name = "A";
   a.ranks = {"m", "k"};
   a.dims = {m, m};
   a.word_bytes = w;
   a.storage = ir::Storage::CompressedSparse;
   a.nnz = shape.nnz;
-  const TensorId A = dag.add_tensor(a);
+  const TensorId A = dag.add_tensor(std::move(a));
   dag.mark_external(A);
 
   const TensorId Rhat = add_vector(dag, "r_hat", m, n, w);
@@ -62,35 +62,35 @@ ir::TensorDag build_bicgstab_dag(const BiCgStabShape& shape) {
     if (auto p = dag.producer(t)) dag.add_edge(*p, dst, t);
   };
   auto dot_op = [&](const std::string& name, std::vector<TensorId> ins, TensorId out) {
-    ir::EinsumOp op;
+    ir::EinsumOp op = dag.new_op();
     op.name = name;
     op.inputs = std::move(ins);
     op.output = out;
     op.ranks = {OpRank{"m", m, true, -1}, OpRank{"n'", n, false, -1}, OpRank{"n", n, false, -1}};
-    const ir::OpId o = dag.add_op(op);
-    for (TensorId t : op.inputs) maybe_edge(o, t);
+    const ir::OpId o = dag.add_op(std::move(op));
+    for (TensorId t : dag.op(o).inputs) maybe_edge(o, t);
     return o;
   };
   auto update_op = [&](const std::string& name, std::vector<TensorId> ins, TensorId out) {
-    ir::EinsumOp op;
+    ir::EinsumOp op = dag.new_op();
     op.name = name;
     op.inputs = std::move(ins);
     op.output = out;
     // Vector update = degenerate skewed GEMM (contracted rank of extent n).
     op.ranks = {OpRank{"m", m, false, -1}, OpRank{"j", n, true, -1}, OpRank{"n", n, false, -1}};
-    const ir::OpId o = dag.add_op(op);
-    for (TensorId t : op.inputs) maybe_edge(o, t);
+    const ir::OpId o = dag.add_op(std::move(op));
+    for (TensorId t : dag.op(o).inputs) maybe_edge(o, t);
     return o;
   };
   auto spmv_op = [&](const std::string& name, TensorId in, TensorId out) {
-    ir::EinsumOp op;
+    ir::EinsumOp op = dag.new_op();
     op.name = name;
     op.inputs = {A, in};
     op.output = out;
     op.ranks = {OpRank{"m", m, false, -1}, OpRank{"k", m, true, occupancy},
                 OpRank{"n", n, false, -1}};
     op.macs_override = shape.nnz * n;
-    const ir::OpId o = dag.add_op(op);
+    const ir::OpId o = dag.add_op(std::move(op));
     maybe_edge(o, in);
     return o;
   };

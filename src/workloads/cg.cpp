@@ -19,21 +19,21 @@ using ir::TensorDesc;
 using ir::TensorId;
 
 TensorId add_skewed(TensorDag& dag, const std::string& name, i64 m, i64 n, Bytes word) {
-  TensorDesc t;
+  TensorDesc t = dag.new_tensor();
   t.name = name;
   t.ranks = {"m", "n"};
   t.dims = {m, n};
   t.word_bytes = word;
-  return dag.add_tensor(t);
+  return dag.add_tensor(std::move(t));
 }
 
 TensorId add_small(TensorDag& dag, const std::string& name, i64 n1, i64 n2, Bytes word) {
-  TensorDesc t;
+  TensorDesc t = dag.new_tensor();
   t.name = name;
   t.ranks = {"n'", "n"};
   t.dims = {n1, n2};
   t.word_bytes = word;
-  return dag.add_tensor(t);
+  return dag.add_tensor(std::move(t));
 }
 
 }  // namespace
@@ -46,14 +46,14 @@ ir::TensorDag build_cg_dag(const CgShape& shape) {
   const i64 occupancy = std::max<i64>(1, shape.nnz / shape.m);
 
   // External inputs: the sparse matrix A and the iteration-0 state.
-  TensorDesc a;
+  TensorDesc a = dag.new_tensor();
   a.name = "A";
   a.ranks = {"m", "k"};
   a.dims = {m, m};
   a.word_bytes = w;
   a.storage = Storage::CompressedSparse;
   a.nnz = shape.nnz;
-  const TensorId A = dag.add_tensor(a);
+  const TensorId A = dag.add_tensor(std::move(a));
   dag.mark_external(A);
 
   TensorId P_prev = add_skewed(dag, "P@0", m, n, w);
@@ -77,27 +77,27 @@ ir::TensorDag build_cg_dag(const CgShape& shape) {
     // uncontracted-dominant (the 'U*' node of Fig. 7).
     const TensorId S = add_skewed(dag, "S" + v, m, n, w);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "1" + v;
       op.inputs = {A, P_prev};
       op.output = S;
       op.ranks = {OpRank{"m", m, false, -1}, OpRank{"k", m, true, occupancy},
                   OpRank{"n", n, false, -1}};
       op.macs_override = shape.nnz * n;
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       maybe_edge(o, P_prev);
     }
 
     // Line 2a: Delta = P^T S — contraction over the big m rank ('C' node).
     const TensorId Delta = add_small(dag, "Delta" + v, n, n, w);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "2a" + v;
       op.inputs = {P_prev, S};
       op.output = Delta;
       op.ranks = {OpRank{"m", m, true, -1}, OpRank{"n'", n, false, -1},
                   OpRank{"n", n, false, -1}};
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       maybe_edge(o, P_prev);
       maybe_edge(o, S);
     }
@@ -105,14 +105,14 @@ ir::TensorDag build_cg_dag(const CgShape& shape) {
     // Line 2b: Lambda = Delta^{-1} Gamma — small inverse-and-multiply.
     const TensorId Lambda = add_small(dag, "Lambda" + v, n, n, w);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "2b" + v;
       op.kind = OpKind::Inverse;
       op.inputs = {Delta, G_prev};
       op.output = Lambda;
       op.ranks = {OpRank{"n'", n, false, -1}, OpRank{"j", n, true, -1},
                   OpRank{"n", n, false, -1}};
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       maybe_edge(o, Delta);
       maybe_edge(o, G_prev);
     }
@@ -120,13 +120,13 @@ ir::TensorDag build_cg_dag(const CgShape& shape) {
     // Line 3: X = X + P Lambda — the delayed self-dependency tensor.
     const TensorId X = add_skewed(dag, "X" + v, m, n, w);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "3" + v;
       op.inputs = {X_prev, P_prev, Lambda};
       op.output = X;
       op.ranks = {OpRank{"m", m, false, -1}, OpRank{"j", n, true, -1},
                   OpRank{"n", n, false, -1}};
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       maybe_edge(o, X_prev);
       maybe_edge(o, P_prev);
       maybe_edge(o, Lambda);
@@ -135,13 +135,13 @@ ir::TensorDag build_cg_dag(const CgShape& shape) {
     // Line 4: R = R - S Lambda.
     const TensorId R = add_skewed(dag, "R" + v, m, n, w);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "4" + v;
       op.inputs = {R_prev, S, Lambda};
       op.output = R;
       op.ranks = {OpRank{"m", m, false, -1}, OpRank{"j", n, true, -1},
                   OpRank{"n", n, false, -1}};
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       maybe_edge(o, R_prev);
       maybe_edge(o, S);
       maybe_edge(o, Lambda);
@@ -150,27 +150,27 @@ ir::TensorDag build_cg_dag(const CgShape& shape) {
     // Line 5: Gamma = R^T R ('C' node).
     const TensorId Gamma = add_small(dag, "Gamma" + v, n, n, w);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "5" + v;
       op.inputs = {R};
       op.output = Gamma;
       op.ranks = {OpRank{"m", m, true, -1}, OpRank{"n'", n, false, -1},
                   OpRank{"n", n, false, -1}};
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       maybe_edge(o, R);
     }
 
     // Line 6: Phi = Gamma_prev^{-1} Gamma — small inverse ('inv' node).
     const TensorId Phi = add_small(dag, "Phi" + v, n, n, w);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "6" + v;
       op.kind = OpKind::Inverse;
       op.inputs = {G_prev, Gamma};
       op.output = Phi;
       op.ranks = {OpRank{"n'", n, false, -1}, OpRank{"j", n, true, -1},
                   OpRank{"n", n, false, -1}};
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       maybe_edge(o, G_prev);
       maybe_edge(o, Gamma);
     }
@@ -178,13 +178,13 @@ ir::TensorDag build_cg_dag(const CgShape& shape) {
     // Line 7: P = R + P Phi — the new search direction.
     const TensorId P = add_skewed(dag, "P" + v, m, n, w);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "7" + v;
       op.inputs = {R, P_prev, Phi};
       op.output = P;
       op.ranks = {OpRank{"m", m, false, -1}, OpRank{"j", n, true, -1},
                   OpRank{"n", n, false, -1}};
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       maybe_edge(o, R);
       maybe_edge(o, P_prev);
       maybe_edge(o, Phi);

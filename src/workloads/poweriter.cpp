@@ -11,31 +11,31 @@ ir::TensorDag build_power_iteration_dag(const PowerIterShape& shape) {
   const Bytes w = shape.word_bytes;
   const i64 occupancy = std::max<i64>(1, shape.nnz / shape.m);
 
-  ir::TensorDesc a;
+  ir::TensorDesc a = dag.new_tensor();
   a.name = "A";
   a.ranks = {"m", "k"};
   a.dims = {m, m};
   a.word_bytes = w;
   a.storage = ir::Storage::CompressedSparse;
   a.nnz = shape.nnz;
-  const ir::TensorId A = dag.add_tensor(a);
+  const ir::TensorId A = dag.add_tensor(std::move(a));
   dag.mark_external(A);
 
   auto add_vec = [&](const std::string& name) {
-    ir::TensorDesc t;
+    ir::TensorDesc t = dag.new_tensor();
     t.name = name;
     t.ranks = {"m", "n"};
     t.dims = {m, 1};
     t.word_bytes = w;
-    return dag.add_tensor(t);
+    return dag.add_tensor(std::move(t));
   };
   auto add_scalar = [&](const std::string& name) {
-    ir::TensorDesc t;
+    ir::TensorDesc t = dag.new_tensor();
     t.name = name;
     t.ranks = {"n'", "n"};
     t.dims = {1, 1};
     t.word_bytes = w;
-    return dag.add_tensor(t);
+    return dag.add_tensor(std::move(t));
   };
 
   ir::TensorId x_prev = add_vec("x@0");
@@ -46,39 +46,39 @@ ir::TensorDag build_power_iteration_dag(const PowerIterShape& shape) {
 
     const ir::TensorId y = add_vec("y" + v);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "spmv" + v;
       op.inputs = {A, x_prev};
       op.output = y;
       op.ranks = {ir::OpRank{"m", m, false, -1}, ir::OpRank{"k", m, true, occupancy},
                   ir::OpRank{"n", 1, false, -1}};
       op.macs_override = shape.nnz;
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       if (auto p = dag.producer(x_prev)) dag.add_edge(*p, o, x_prev);
     }
 
     const ir::TensorId sigma = add_scalar("sigma" + v);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "norm" + v;
       op.inputs = {y};
       op.output = sigma;
       op.ranks = {ir::OpRank{"m", m, true, -1}, ir::OpRank{"n'", 1, false, -1},
                   ir::OpRank{"n", 1, false, -1}};
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       dag.add_edge(*dag.producer(y), o, y);
     }
 
     const ir::TensorId x = add_vec("x" + v);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "scale" + v;
       op.inputs = {y, sigma};
       op.output = x;
       op.ranks = {ir::OpRank{"m", m, false, -1}, ir::OpRank{"j", 1, true, -1},
                   ir::OpRank{"n", 1, false, -1}};
       op.macs_override = m;
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       dag.add_edge(*dag.producer(y), o, y);
       dag.add_edge(*dag.producer(sigma), o, sigma);
     }

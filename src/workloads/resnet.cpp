@@ -13,21 +13,21 @@ ir::TensorDag build_resnet_block_dag(const ResNetBlockShape& shape) {
   const Bytes w = shape.word_bytes;
 
   auto add_fmap = [&](const std::string& name, const std::string& chan_rank, i64 channels) {
-    ir::TensorDesc t;
+    ir::TensorDesc t = dag.new_tensor();
     t.name = name;
     t.ranks = {"m", chan_rank};
     t.dims = {m, channels};
     t.word_bytes = w;
-    return dag.add_tensor(t);
+    return dag.add_tensor(std::move(t));
   };
   auto add_weight = [&](const std::string& name, const std::string& rin, i64 cin,
                         const std::string& rout, i64 cout) {
-    ir::TensorDesc t;
+    ir::TensorDesc t = dag.new_tensor();
     t.name = name;
     t.ranks = {rin, rout};
     t.dims = {cin, cout};
     t.word_bytes = w;
-    const ir::TensorId id = dag.add_tensor(t);
+    const ir::TensorId id = dag.add_tensor(std::move(t));
     dag.mark_external(id);
     return id;
   };
@@ -49,7 +49,7 @@ ir::TensorDag build_resnet_block_dag(const ResNetBlockShape& shape) {
   auto conv = [&](const std::string& name, ir::TensorId in, ir::TensorId weight,
                   ir::TensorId out, const std::string& rin, i64 cin, const std::string& rout,
                   i64 cout, i64 window) {
-    ir::EinsumOp op;
+    ir::EinsumOp op = dag.new_op();
     op.name = name;
     op.inputs = {in, weight};
     op.output = out;
@@ -59,7 +59,7 @@ ir::TensorDag build_resnet_block_dag(const ResNetBlockShape& shape) {
                 ir::OpRank{rin, cin, true, cin * window},
                 ir::OpRank{rout, cout, false, -1}};
     op.macs_override = m * cin * window * cout;
-    const ir::OpId o = dag.add_op(op);
+    const ir::OpId o = dag.add_op(std::move(op));
     if (auto p = dag.producer(in)) dag.add_edge(*p, o, in);
     return o;
   };
@@ -71,14 +71,14 @@ ir::TensorDag build_resnet_block_dag(const ResNetBlockShape& shape) {
 
   {
     // Elementwise residual add: Out = T3 + T0 (the skip consumer).
-    ir::EinsumOp op;
+    ir::EinsumOp op = dag.new_op();
     op.name = "add";
     op.kind = ir::OpKind::TensorMac;  // modelled as a MAC op so it can pipeline
     op.inputs = {T3, T0};
     op.output = Out;
     op.ranks = {ir::OpRank{"m", m, false, -1}, ir::OpRank{"c3", c_in, false, -1}};
     op.macs_override = m * c_in;
-    const ir::OpId o = dag.add_op(op);
+    const ir::OpId o = dag.add_op(std::move(op));
     dag.add_edge(*dag.producer(T3), o, T3);
     dag.add_edge(*dag.producer(T0), o, T0);
   }
@@ -97,35 +97,35 @@ ir::TensorDag build_resnet_stack_dag(const ResNetBlockShape& shape, i64 blocks) 
   const Bytes w = shape.word_bytes;
 
   auto add_fmap = [&](const std::string& name, const std::string& chan_rank, i64 channels) {
-    ir::TensorDesc t;
+    ir::TensorDesc t = dag.new_tensor();
     t.name = name;
     t.ranks = {"m", chan_rank};
     t.dims = {m, channels};
     t.word_bytes = w;
-    return dag.add_tensor(t);
+    return dag.add_tensor(std::move(t));
   };
   auto add_weight = [&](const std::string& name, const std::string& rin, i64 cin,
                         const std::string& rout, i64 cout) {
-    ir::TensorDesc t;
+    ir::TensorDesc t = dag.new_tensor();
     t.name = name;
     t.ranks = {rin, rout};
     t.dims = {cin, cout};
     t.word_bytes = w;
-    const ir::TensorId id = dag.add_tensor(t);
+    const ir::TensorId id = dag.add_tensor(std::move(t));
     dag.mark_external(id);
     return id;
   };
   auto conv = [&](const std::string& name, ir::TensorId in, ir::TensorId weight,
                   ir::TensorId out, const std::string& rin, i64 cin, const std::string& rout,
                   i64 cout, i64 window) {
-    ir::EinsumOp op;
+    ir::EinsumOp op = dag.new_op();
     op.name = name;
     op.inputs = {in, weight};
     op.output = out;
     op.ranks = {ir::OpRank{"m", m, false, -1}, ir::OpRank{rin, cin, true, cin * window},
                 ir::OpRank{rout, cout, false, -1}};
     op.macs_override = m * cin * window * cout;
-    const ir::OpId o = dag.add_op(op);
+    const ir::OpId o = dag.add_op(std::move(op));
     if (auto p = dag.producer(in)) dag.add_edge(*p, o, in);
     return o;
   };
@@ -153,13 +153,13 @@ ir::TensorDag build_resnet_stack_dag(const ResNetBlockShape& shape, i64 blocks) 
     conv("conv2" + v, T1, W2, T2, r1, c_mid, r2, c_mid, shape.kernel * shape.kernel);
     conv("conv3" + v, T2, W3, T3, r2, c_mid, r3, c_in, 1);
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "add" + v;
       op.inputs = {T3, block_in};
       op.output = Out;
       op.ranks = {ir::OpRank{"m", m, false, -1}, ir::OpRank{r3, c_in, false, -1}};
       op.macs_override = m * c_in;
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       dag.add_edge(*dag.producer(T3), o, T3);
       dag.add_edge(*dag.producer(block_in), o, block_in);
     }

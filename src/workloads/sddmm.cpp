@@ -13,23 +13,23 @@ ir::TensorDag build_sddmm_dag(const SddmmShape& shape) {
   const Bytes w = shape.word_bytes;
   const i64 occupancy = std::max<i64>(1, shape.nnz / shape.rows);
 
-  ir::TensorDesc mask;
+  ir::TensorDesc mask = dag.new_tensor();
   mask.name = "M";
   mask.ranks = {"m", "j"};
   mask.dims = {m, m};
   mask.word_bytes = w;
   mask.storage = ir::Storage::CompressedSparse;
   mask.nnz = shape.nnz;
-  const ir::TensorId M = dag.add_tensor(mask);
+  const ir::TensorId M = dag.add_tensor(std::move(mask));
   dag.mark_external(M);
 
   auto add_dense = [&](const std::string& name, const std::string& row_rank) {
-    ir::TensorDesc t;
+    ir::TensorDesc t = dag.new_tensor();
     t.name = name;
     t.ranks = {row_rank, "d"};
     t.dims = {m, d};
     t.word_bytes = w;
-    return dag.add_tensor(t);
+    return dag.add_tensor(std::move(t));
   };
 
   for (i64 h = 1; h <= shape.heads; ++h) {
@@ -42,27 +42,27 @@ ir::TensorDag build_sddmm_dag(const SddmmShape& shape) {
     const ir::TensorId K = add_dense("K" + v, "j");
     dag.mark_external(K);
 
-    ir::TensorDesc s;
+    ir::TensorDesc s = dag.new_tensor();
     s.name = "S" + v;
     s.ranks = {"m", "j"};
     s.dims = {m, m};
     s.word_bytes = w;
     s.storage = ir::Storage::CompressedSparse;
     s.nnz = shape.nnz;
-    const ir::TensorId S = dag.add_tensor(s);
+    const ir::TensorId S = dag.add_tensor(std::move(s));
 
     ir::OpId sddmm;
     {
       // Only the mask's nnz positions are computed: the "j" rank traverses
       // the row occupancy, and the contraction runs over the d features.
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "sddmm" + v;
       op.inputs = {M, Q, K};
       op.output = S;
       op.ranks = {ir::OpRank{"m", m, false, -1}, ir::OpRank{"j", m, false, occupancy},
                   ir::OpRank{"d", d, true, -1}};
       op.macs_override = shape.nnz * d;
-      sddmm = dag.add_op(op);
+      sddmm = dag.add_op(std::move(op));
     }
 
     if (!shape.with_spmm) {
@@ -74,14 +74,14 @@ ir::TensorDag build_sddmm_dag(const SddmmShape& shape) {
     dag.mark_external(V);
     const ir::TensorId O = add_dense("O" + v, "m");
     {
-      ir::EinsumOp op;
+      ir::EinsumOp op = dag.new_op();
       op.name = "spmm" + v;
       op.inputs = {S, V};
       op.output = O;
       op.ranks = {ir::OpRank{"m", m, false, -1}, ir::OpRank{"j", m, true, occupancy},
                   ir::OpRank{"d", d, false, -1}};
       op.macs_override = shape.nnz * d;
-      const ir::OpId o = dag.add_op(op);
+      const ir::OpId o = dag.add_op(std::move(op));
       dag.add_edge(sddmm, o, S);
     }
     dag.mark_result(O);
