@@ -215,6 +215,41 @@ void BM_ReuseIndexShared(benchmark::State& state) {
   state.counters["setup_ms"] = benchmark::Counter(setup_ms);
 }
 
+// ---- LLM decode rows --------------------------------------------------------
+// The documented budget-exceeding decode (KV extent ~8.4 MB across 2 layers
+// vs 4 MiB SRAM) through the KV-cache ring, the LRU baseline it beats, and
+// Cello.  These bound the wall time of llm sweep cells.
+
+const sim::Workload& llm_workload() {
+  static const sim::Workload wl = sim::WorkloadRegistry::global().resolve(
+      "llm:d_model=512,seq=2048,decode_steps=8,layers=2");
+  return wl;
+}
+
+void BM_LlmDecodeFlexKv(benchmark::State& s) {
+  run_config(s, *llm_workload().dag, nullptr, "Flex+KV");
+}
+void BM_LlmDecodeFlexLru(benchmark::State& s) {
+  run_config(s, *llm_workload().dag, nullptr, "Flex+LRU");
+}
+void BM_LlmDecodeCello(benchmark::State& s) {
+  run_config(s, *llm_workload().dag, nullptr, "Cello");
+}
+
+// One llm workload over the analytic grid + Flex+KV through the shared-setup
+// sweep path, so llm cells ride the same cache/pool trajectory as CG.
+void BM_LlmDecodeSweepShared(benchmark::State& state) {
+  const auto arch = bench::table5_config(1e12, 4ull * 1024 * 1024);
+  std::vector<std::string> names = sweep_config_names();
+  names.push_back("Flex+KV");
+  const std::vector<sim::Workload> workloads = {llm_workload()};
+  const sim::SweepRunner runner(/*threads=*/1);
+  for (auto _ : state) {
+    const auto cells = runner.run(workloads, names, arch);
+    benchmark::DoNotOptimize(cells.back().metrics.dram_bytes);
+  }
+}
+
 }  // namespace
 
 // SRAM capacity in MiB — the Fig. 16(b) sweep points.
@@ -228,5 +263,9 @@ BENCHMARK(BM_SweepCgAnalyticRebuild)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepSharded)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DagBuild)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReuseIndexShared)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LlmDecodeFlexKv)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LlmDecodeFlexLru)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LlmDecodeCello)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LlmDecodeSweepShared)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

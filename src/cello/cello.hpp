@@ -13,6 +13,11 @@
 //   auto cello_m = simulator.run(*cg.dag, registry.at("Cello"));
 //   auto novel_m = simulator.run(*cg.dag, "SCORE+LRU");  // inexpressible under the old enum
 //
+//   // Transformer decode: append-only KV-cache chains in the DAG, priced by
+//   // the KV-aware buffer (see sim/policies/kv_cache_policy.hpp).
+//   auto llm = workloads.resolve("llm:d_model=512,seq=2048,decode_steps=8,layers=2");
+//   auto kv_m = cello::sim::Simulator(arch).run(*llm.dag, "Flex+KV");
+//
 //   // Custom pairing: any SchedulePolicy x BufferPolicy combination.
 //   auto mine = cello::sim::make_configuration(
 //       "mine", cello::sim::SchedulePolicy::Score, cello::sim::brrip_cache(), "BRRIP");
@@ -66,6 +71,7 @@
 #include "workloads/bicgstab.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/gnn.hpp"
+#include "workloads/llm.hpp"
 #include "workloads/resnet.hpp"
 #include "workloads/sddmm.hpp"
 #include "workloads/spmv.hpp"

@@ -35,6 +35,12 @@ struct TensorMeta {
   Bytes bytes = 0;           ///< full tensor footprint
   i32 remaining_uses = 0;    ///< RIFF frequency (future consumptions)
   i64 next_use_distance = -1;///< RIFF distance in scheduled ops (-1 = never)
+  /// Append-only base (KV-cache decode): `bytes` is this step's logical
+  /// extent and `appended_bytes` the part new since the previous step (the
+  /// whole extent for the chain head).  CHORD itself ignores these; the
+  /// KV-cache policy prices appends instead of full rewrites from them.
+  bool append_only = false;
+  Bytes appended_bytes = 0;
 };
 
 /// One RIFF-index-table entry (Fig. 10).  All fields in bytes/words of the

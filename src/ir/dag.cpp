@@ -122,6 +122,26 @@ EdgeId TensorDag::add_edge(OpId src, OpId dst, TensorId tensor) {
   return e.id;
 }
 
+void TensorDag::mark_append(TensorId prev, TensorId next) {
+  CELLO_CHECK(prev >= 0 && prev < static_cast<i32>(tensors_.size()));
+  CELLO_CHECK(next >= 0 && next < static_cast<i32>(tensors_.size()));
+  CELLO_CHECK_MSG(prev != next, "append chain cannot self-link " << tensors_[next].name);
+  CELLO_CHECK_MSG(tensors_[next].append_prev == kInvalidTensor,
+                  "tensor " << tensors_[next].name << " already has an append predecessor");
+  CELLO_CHECK_MSG(tensors_[next].bytes() >= tensors_[prev].bytes(),
+                  "append-only base shrinks: " << tensors_[prev].name << " -> "
+                                               << tensors_[next].name);
+  tensors_[prev].append_only = true;
+  tensors_[next].append_only = true;
+  tensors_[next].append_prev = prev;
+}
+
+Bytes TensorDag::appended_bytes(TensorId t) const {
+  const TensorDesc& desc = tensor(t);
+  if (desc.append_prev == kInvalidTensor) return desc.bytes();
+  return desc.bytes() - tensor(desc.append_prev).bytes();
+}
+
 const TensorDesc& TensorDag::tensor(TensorId t) const {
   CELLO_CHECK(t >= 0 && t < static_cast<i32>(tensors_.size()));
   return tensors_[t];
@@ -201,6 +221,15 @@ void TensorDag::validate() const {
     CELLO_CHECK_MSG(s.output == e.tensor, "edge tensor not produced by source op " << s.name);
     CELLO_CHECK_MSG(std::find(d.inputs.begin(), d.inputs.end(), e.tensor) != d.inputs.end(),
                     "edge tensor not consumed by destination op " << d.name);
+  }
+  for (const auto& t : tensors_) {
+    if (t.append_prev == kInvalidTensor) continue;
+    const TensorDesc& prev = tensor(t.append_prev);
+    CELLO_CHECK_MSG(t.append_only && prev.append_only,
+                    "append chain " << prev.name << " -> " << t.name
+                                    << " lost its append_only flag");
+    CELLO_CHECK_MSG(t.bytes() >= prev.bytes(),
+                    "append-only base shrinks: " << prev.name << " -> " << t.name);
   }
   (void)topo_order();  // throws on cycles
 }

@@ -69,6 +69,15 @@ class TensorDag {
   /// Mark a tensor as a final result that must be drained to memory.
   void mark_result(TensorId t) { tensors_[t].is_result = true; }
 
+  /// Declare `next` the append-only successor of `prev`: both instances of
+  /// the same growing base (KV cache), with `next` extending `prev` by
+  /// `appended_bytes(next)`.  Extents must be non-shrinking.
+  void mark_append(TensorId prev, TensorId next);
+
+  /// Bytes `t` adds over its append-predecessor: the whole footprint for a
+  /// chain head (or a non-append tensor), the extent delta otherwise.
+  Bytes appended_bytes(TensorId t) const;
+
   // ---- accessors ----------------------------------------------------------
   const std::vector<TensorDesc>& tensors() const { return tensors_; }
   const std::vector<EinsumOp>& ops() const { return ops_; }

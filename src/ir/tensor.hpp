@@ -45,6 +45,14 @@ struct TensorDesc {
   /// Dead non-result intermediates need never be written back by a scheduler
   /// that knows tensor liveness (SCORE does; op-by-op baselines do not).
   bool is_result = false;
+  /// Append-only base annotation (KV-cache decode): instances of the base
+  /// form a chain where each step's version extends — never rewrites — the
+  /// previous one.  `append_prev` links to the preceding instance in the
+  /// chain (kInvalidTensor for the chain head), so a buffer policy can price
+  /// the step's write as `bytes() - prev.bytes()` instead of the full
+  /// footprint.  Set via TensorDag::mark_append.
+  bool append_only = false;
+  TensorId append_prev = kInvalidTensor;
 
   i64 elements() const {
     if (storage == Storage::CompressedSparse) return nnz;

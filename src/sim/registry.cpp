@@ -6,6 +6,7 @@
 #include "sim/policies/cache_policy.hpp"
 #include "sim/policies/chord_policy.hpp"
 #include "sim/policies/explicit_buffers.hpp"
+#include "sim/policies/kv_cache_policy.hpp"
 
 namespace cello::sim {
 
@@ -71,6 +72,9 @@ ConfigRegistry::ConfigRegistry() {
                          /*allow_delayed_hold=*/true));
   add(make_configuration("SCORE+explicit", SchedulePolicy::Score, explicit_buffers(),
                          "explicit", /*allow_delayed_hold=*/true));
+  // KV-cache decode row: Flexagon-style op-by-op scheduling over the
+  // append-aware KV buffer (see kv_cache_policy.hpp).
+  add(make_configuration("Flex+KV", SchedulePolicy::OpByOp, kv_cache_buffer(), "KV"));
   // "Cello" spelled as its composition, for symmetry with the combos above.
   add_alias("SCORE+CHORD", "Cello");
 }

@@ -129,6 +129,10 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
     m.bytes = t.bytes();
     m.remaining_uses = reuse.remaining_after(reuse_index, m.id, step);
     m.next_use_distance = reuse.next_distance(reuse_index, m.id, step);
+    if (t.append_only) {
+      m.append_only = true;
+      m.appended_bytes = dag.appended_bytes(t.id);
+    }
     return m;
   };
 
@@ -194,6 +198,11 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
       bool repeat = false;
       for (size_t jj = 0; jj < ii; ++jj) repeat = repeat || op.inputs[jj] == in;
       if (repeat) continue;
+      // In-place append (KV-cache decode): the op extends this operand into
+      // its own output — same growing base, untouched prefix.  No data moves
+      // for the prefix, so the operand is not serviced; the output write
+      // prices whatever the policy charges for the step's growth.
+      if (dag.tensor(op.output).append_prev == in) continue;
       const ir::TensorDesc& t = dag.tensor(in);
       const Bytes b = t.bytes();
       const i32 base = map.base_id(in);

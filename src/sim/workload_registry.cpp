@@ -12,6 +12,7 @@
 #include "workloads/bicgstab.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/gnn.hpp"
+#include "workloads/llm.hpp"
 #include "workloads/poweriter.hpp"
 #include "workloads/resnet.hpp"
 #include "workloads/sddmm.hpp"
@@ -55,7 +56,16 @@ void WorkloadParams::check_all_consumed() const {
       if (!unknown.empty()) unknown += ", ";
       unknown += key;
     }
-  if (!unknown.empty()) bad_spec(spec_, "unknown parameter(s): " + unknown);
+  if (unknown.empty()) return;
+  // The consumed set is exactly the keys the kind's builder looked at, so a
+  // typo'd key names its valid neighbors ("llm:layer=12" lists "layers").
+  std::string allowed;
+  for (const auto& key : consumed_) {
+    if (!allowed.empty()) allowed += ", ";
+    allowed += key;
+  }
+  bad_spec(spec_, "unknown parameter(s): " + unknown + " (allowed keys for kind '" +
+                      spec_.kind + "': " + allowed + ")");
 }
 
 namespace {
@@ -322,6 +332,30 @@ WorkloadRegistry::WorkloadRegistry() {
          Workload w;
          w.dag = share(workloads::build_sddmm_dag(shape));
          w.matrix = src.matrix;
+         return w;
+       }});
+  add({"llm",
+       "transformer decode: attention + MLP per layer over an append-only KV cache",
+       {{"layers", "2", "transformer layers"},
+        {"heads", "8", "attention (query) heads"},
+        {"d_model", "512", "model width (head_dim = d_model / heads)"},
+        {"seq", "128", "prefill context length (KV extent at step 0)"},
+        {"decode_steps", "8", "autoregressive decode steps"},
+        {"d_ff", "4*d_model", "MLP hidden width"},
+        {"gqa", "heads", "KV heads (grouped-query attention)"},
+        {"words", "2", "bytes per word"}},
+       [](WorkloadParams& p) {
+         workloads::LlmShape shape;
+         shape.layers = p.get_i64("layers", shape.layers);
+         shape.heads = p.get_i64("heads", shape.heads);
+         shape.d_model = p.get_i64("d_model", shape.d_model);
+         shape.seq = p.get_i64("seq", shape.seq);
+         shape.decode_steps = p.get_i64("decode_steps", shape.decode_steps);
+         shape.d_ff = p.get_i64("d_ff", 0);
+         shape.gqa = p.get_i64("gqa", 0);
+         shape.word_bytes = word_bytes(p, 2);
+         Workload w;
+         w.dag = share(workloads::build_llm_decode_dag(shape));
          return w;
        }});
 }

@@ -1,0 +1,41 @@
+// Transformer autoregressive decode: per-layer attention + MLP blocks over
+// an append-only KV cache.
+//
+// Each decode step t (t = 0..decode_steps-1) processes ONE token through
+// every layer l:
+//   qkv_l@t = x_l@t . Wqkv_l          fused Q/K/V projection
+//   K_l@{t+1} = append(K_l@t, k_t)    cache append — extent grows to seq+t+1
+//   V_l@{t+1} = append(V_l@t, v_t)
+//   att_l@t = q_t . K_l@{t+1}^T       QK^T against the cached keys
+//   ctx_l@t = softmax(att_l@t) . V_l@{t+1}
+//   out_l@t = ctx_l@t . Wo_l
+//   f_l@t   = out_l@t . W1_l          MLP up-projection
+//   y_l@t   = f_l@t . W2_l            MLP down-projection -> x_{l+1}@t
+//
+// The K/V instances follow the '@' versioning convention, so the AddressMap
+// folds each layer's chain onto one base whose footprint is the FINAL extent,
+// while every instance carries its true per-step extent (seq + t) — and the
+// chain is annotated append-only via TensorDag::mark_append, so KV-aware
+// buffer policies price each step's write as one appended row instead of a
+// full cache rewrite.  Weights are externals re-read every step: exactly the
+// residency battle (weights vs growing cache) real decode accelerators fight.
+#pragma once
+
+#include "ir/dag.hpp"
+
+namespace cello::workloads {
+
+struct LlmShape {
+  i64 layers = 2;        ///< transformer layers
+  i64 heads = 8;         ///< attention (query) heads
+  i64 d_model = 512;     ///< model width; head_dim = d_model / heads
+  i64 seq = 128;         ///< prefill context length (KV extent at step 0)
+  i64 decode_steps = 8;  ///< autoregressive decode steps
+  i64 d_ff = 0;          ///< MLP hidden width; 0 = 4 * d_model
+  i64 gqa = 0;           ///< KV heads (grouped-query attention); 0 = heads
+  Bytes word_bytes = 2;
+};
+
+ir::TensorDag build_llm_decode_dag(const LlmShape& shape);
+
+}  // namespace cello::workloads

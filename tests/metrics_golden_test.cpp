@@ -20,6 +20,7 @@
 
 #include "sim/registry.hpp"
 #include "sim/simulator.hpp"
+#include "sim/workload_registry.hpp"
 #include "sparse/datasets.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/gnn.hpp"
@@ -98,6 +99,19 @@ std::vector<std::string> current_lines() {
     const sim::Simulator simulator(arch, wl.matrix);
     for (const auto& name : sim::ConfigRegistry::table4_names())
       lines.push_back(format_record(wl.name, name, simulator.run(wl.dag, registry.at(name))));
+  }
+
+  // LLM decode rows: the Table IV presets plus the KV-cache configuration
+  // (registered after the combos, so not part of table4_names).  The second
+  // spec is the documented budget-exceeding decode where Flex+KV beats LRU.
+  std::vector<std::string> llm_configs = sim::ConfigRegistry::table4_names();
+  llm_configs.push_back("Flex+KV");
+  for (const char* spec : {"llm:layers=1,seq=256,decode_steps=4",
+                           "llm:d_model=512,seq=2048,decode_steps=8,layers=2"}) {
+    const sim::Workload wl = sim::WorkloadRegistry::global().resolve(spec);
+    const sim::Simulator simulator(arch);
+    for (const auto& name : llm_configs)
+      lines.push_back(format_record(wl.name, name, simulator.run(*wl.dag, registry.at(name))));
   }
   return lines;
 }

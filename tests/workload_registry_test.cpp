@@ -66,7 +66,7 @@ TEST(WorkloadSpec, MalformedSpecsThrow) {
 
 TEST(WorkloadRegistry, ListsBuiltInKinds) {
   const auto names = WorkloadRegistry::global().names();
-  for (const char* kind : {"cg", "bicgstab", "gnn", "power", "resnet", "spmv", "sddmm"})
+  for (const char* kind : {"cg", "bicgstab", "gnn", "power", "resnet", "spmv", "sddmm", "llm"})
     EXPECT_NE(std::find(names.begin(), names.end(), kind), names.end()) << kind;
 }
 
@@ -85,6 +85,22 @@ TEST(WorkloadRegistry, UnknownParameterThrows) {
   EXPECT_THROW(WorkloadRegistry::global().resolve("resnet:dataset=cora"), Error);
   // hidden= is meaningless on a single-layer GCN: ineffective, so rejected.
   EXPECT_THROW(WorkloadRegistry::global().resolve("gnn:cora,hidden=256"), Error);
+}
+
+TEST(WorkloadRegistry, UnknownParameterErrorListsAllowedKeys) {
+  // A typo'd key must name its valid neighbors: the builder consumed every
+  // key it understands, so the error can list them for the kind.
+  try {
+    WorkloadRegistry::global().resolve("llm:layer=12");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("layer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("allowed keys for kind 'llm'"), std::string::npos) << msg;
+    for (const char* key :
+         {"layers", "heads", "d_model", "seq", "decode_steps", "d_ff", "gqa", "words"})
+      EXPECT_NE(msg.find(key), std::string::npos) << key << " missing from: " << msg;
+  }
 }
 
 TEST(WorkloadRegistry, MalformedParameterValueThrows) {
