@@ -21,22 +21,42 @@ _UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
 
 def rows_ms(path):
-    """name -> real_time in ms, from either supported file shape."""
-    with open(path) as f:
-        doc = json.load(f)
+    """name -> real_time in ms, from either supported file shape.
+
+    Unreadable, truncated or shape-drifted files exit 2 with a one-line
+    diagnosis: a CI gate must never pass (or spew a traceback) because its
+    input was half a file.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read benchmark file '{path}': {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: '{path}' is not valid JSON (truncated benchmark run?): {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: '{path}' is not a benchmark document (top level is "
+                 f"{type(doc).__name__}, expected an object)")
     entries = doc.get("benchmarks", [])
-    # run_bench.sh summary shape: real_time_ms, one row per benchmark.
-    if any("real_time_ms" in e for e in entries):
-        return {e["name"]: float(e["real_time_ms"]) for e in entries if "real_time_ms" in e}
-    # Raw google-benchmark shape: prefer median aggregates when present.
-    medians = [e for e in entries
-               if e.get("run_type") == "aggregate" and e.get("aggregate_name") == "median"]
-    picked = medians or [e for e in entries if e.get("run_type", "iteration") == "iteration"]
-    out = {}
-    for e in picked:
-        name = e.get("run_name", e["name"])
-        out[name] = float(e["real_time"]) * _UNIT_TO_MS[e.get("time_unit", "ns")]
-    return out
+    if not isinstance(entries, list) or not all(isinstance(e, dict) for e in entries):
+        sys.exit(f"error: '{path}': \"benchmarks\" must be a list of objects")
+    try:
+        # run_bench.sh summary shape: real_time_ms, one row per benchmark.
+        if any("real_time_ms" in e for e in entries):
+            return {e["name"]: float(e["real_time_ms"])
+                    for e in entries if "real_time_ms" in e}
+        # Raw google-benchmark shape: prefer median aggregates when present.
+        medians = [e for e in entries
+                   if e.get("run_type") == "aggregate" and e.get("aggregate_name") == "median"]
+        picked = medians or [e for e in entries
+                             if e.get("run_type", "iteration") == "iteration"]
+        out = {}
+        for e in picked:
+            name = e.get("run_name", e["name"])
+            out[name] = float(e["real_time"]) * _UNIT_TO_MS[e.get("time_unit", "ns")]
+        return out
+    except (KeyError, TypeError, ValueError) as e:
+        sys.exit(f"error: '{path}': malformed benchmark row: {e!r}")
 
 
 def main():

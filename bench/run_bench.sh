@@ -35,11 +35,37 @@ python3 - "$raw" "$repo/bench/baseline_tracesim.json" "$repo/BENCH_tracesim.json
 import json, sys, os
 
 raw_path, baseline_path, out_path = sys.argv[1:4]
-raw = json.load(open(raw_path))
+
+
+def die(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path, what):
+    # A benchmark binary killed mid-write (OOM, ^C) leaves truncated JSON;
+    # surface that as a one-line error instead of a traceback, and never let
+    # it silently produce an empty BENCH_tracesim.json.
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        die(f"cannot read {what} '{path}': {e}")
+    except json.JSONDecodeError as e:
+        die(f"{what} '{path}' is not valid JSON (truncated benchmark run?): {e}")
+
+
+raw = load_json(raw_path, "benchmark output")
+if not isinstance(raw, dict) or not raw.get("benchmarks"):
+    die(f"benchmark output '{raw_path}' has no benchmarks — the run produced nothing")
+if "context" not in raw:
+    die(f"benchmark output '{raw_path}' is missing its context block")
 
 baseline = {}
 if os.path.exists(baseline_path):
-    for b in json.load(open(baseline_path)).get("benchmarks", []):
+    for b in load_json(baseline_path, "baseline").get("benchmarks", []):
+        if "name" not in b or "real_time_ms" not in b:
+            die(f"baseline '{baseline_path}' row {b!r} lacks name/real_time_ms")
         baseline[b["name"]] = b["real_time_ms"]
 
 medians = [b for b in raw.get("benchmarks", [])
@@ -49,7 +75,9 @@ if not medians:  # single-repetition runs have no aggregates
 
 benchmarks = []
 for b in medians:
-    assert b["time_unit"] == "ms", b
+    if b.get("time_unit") != "ms":
+        die(f"benchmark row {b.get('name', '?')} reports in "
+            f"{b.get('time_unit', 'no unit')}, expected ms")
     name = b["run_name"] if "run_name" in b else b["name"]
     entry = {
         "name": name,

@@ -10,11 +10,20 @@
 //   ./example_cello_cli sweep     [--workload <spec>]... [--jobs <n>]
 //                                 [--shard <i>/<k>] [--shard-mode contiguous|strided]
 //                                 [--out results.json|results.csv]
+//                                 [--checkpoint <journal>] [--resume]
+//                                 [--keep-going] [--retries <n>]
 //                                 (all registered configs, parallel SweepRunner;
 //                                  one immutable DAG/schedule per workload row;
 //                                  --shard runs one deterministic slice of the
 //                                  grid, --out writes a machine-readable,
-//                                  bit-exact result file instead of a table)
+//                                  bit-exact result file instead of a table.
+//                                  --checkpoint journals each completed cell
+//                                  crash-safely; --resume continues a killed
+//                                  run from its journal, byte-identical to an
+//                                  uninterrupted sweep.  --keep-going
+//                                  quarantines failing cells as error records
+//                                  instead of aborting; --retries re-runs
+//                                  transient cell failures)
 //   ./example_cello_cli merge     <out.json> <shard.json>...
 //                                 (recombine shard files — any order — into the
 //                                  exact row-major file a full single-process
@@ -63,6 +72,10 @@ struct Options {
   std::optional<std::string> shard;       ///< "i/k" slice of the sweep grid
   std::optional<std::string> shard_mode;  ///< contiguous (default) | strided
   std::optional<std::string> out;      ///< sweep: write results here (.json/.csv)
+  std::optional<std::string> checkpoint;  ///< sweep: crash-safe cell journal path
+  bool resume = false;                    ///< sweep: continue from the journal
+  bool keep_going = false;                ///< sweep: quarantine failing cells
+  u32 retries = 0;                        ///< sweep: extra attempts per failing cell
   std::vector<std::string> positional;  ///< merge: <out.json> <shard.json>...
 };
 
@@ -87,6 +100,10 @@ Options parse(int argc, char** argv) {
     else if (auto v10 = next("--shard")) o.shard = *v10;
     else if (auto v11 = next("--shard-mode")) o.shard_mode = *v11;
     else if (auto v12 = next("--out")) o.out = *v12;
+    else if (auto v13 = next("--checkpoint")) o.checkpoint = *v13;
+    else if (auto v14 = next("--retries")) o.retries = static_cast<u32>(std::stoul(*v14));
+    else if (std::strcmp(argv[i], "--resume") == 0) o.resume = true;
+    else if (std::strcmp(argv[i], "--keep-going") == 0) o.keep_going = true;
     else if (argv[i][0] == '-')
       // A typo'd flag ("--shards 2/3") must not silently run a different
       // sweep whose mistake only surfaces at merge time; a known flag with
@@ -101,6 +118,10 @@ Options parse(int argc, char** argv) {
   // "merge --workload gnn" must not merge an unrelated grid without comment).
   if (o.command != "sweep" && (o.shard || o.out || o.shard_mode))
     throw Error("--shard/--shard-mode/--out apply only to the sweep command");
+  if (o.command != "sweep" && (o.checkpoint || o.resume || o.keep_going || o.retries != 0))
+    throw Error("--checkpoint/--resume/--keep-going/--retries apply only to the sweep command");
+  if (o.resume && !o.checkpoint)
+    throw Error("--resume needs --checkpoint <journal> to know what to resume from");
   if (o.command == "merge" &&
       (!o.workloads.empty() || o.dataset || o.mtx || o.n || o.iters || o.bw_gbps ||
        o.sram_mib || o.config != "all" || o.jobs != 0))
@@ -208,8 +229,11 @@ int merge_command(const Options& o) {
   }
   std::vector<sim::ShardResult> shards;
   shards.reserve(o.positional.size() - 1);
+  // shard_from_json_file prefixes every load/parse failure with its path, so
+  // one bad file among dozens is quarantined by name instead of aborting the
+  // merge with an anonymous parse error.
   for (size_t i = 1; i < o.positional.size(); ++i)
-    shards.push_back(sim::shard_from_json(read_file(o.positional[i])));
+    shards.push_back(sim::shard_from_json_file(o.positional[i]));
   const size_t shard_count = shards.size();
   sim::ShardResult full;
   full.grid = shards.front().grid;
@@ -285,8 +309,16 @@ int run_cli(int argc, char** argv) {
       const sim::ShardPlan plan = sim::plan_shard(
           grid, shard_index, shard_count,
           sim::shard_mode_from_string(o.shard_mode.value_or("contiguous")));
+      sim::SweepOptions sweep_options;
+      sweep_options.keep_going = o.keep_going;
+      sweep_options.retries = o.retries;
+      sweep_options.checkpoint = o.checkpoint.value_or("");
+      sweep_options.resume = o.resume;
       const sim::SweepRunner runner(o.jobs);
-      auto cells = runner.run_shard(grid, plan);
+      auto cells = runner.run_shard(grid, plan, sweep_options);
+      size_t failed = 0;
+      for (const auto& cell : cells)
+        if (!cell.ok()) ++failed;
       if (o.out) {
         // A CSV export drops the grid/plan metadata merge needs; a shard of
         // a split sweep written as CSV would be unrecoverable.
@@ -300,14 +332,31 @@ int run_cli(int argc, char** argv) {
         }
         std::cout << "wrote " << *o.out << " (shard " << plan.index << "/" << plan.count
                   << ", " << plan.cells.size() << " of " << grid.cells() << " cells)\n";
+        if (failed > 0) {
+          std::cerr << "warning: " << failed << " of " << plan.cells.size()
+                    << " cells failed and were quarantined (--keep-going)\n";
+          return 2;
+        }
         return 0;
       }
       TextTable t({"workload", "config", "GMACs/s", "time", "DRAM traffic"});
-      for (const auto& cell : cells)
+      for (const auto& cell : cells) {
+        if (!cell.ok()) {
+          t.add_row({cell.workload, cell.config, "FAILED", "-", "-"});
+          continue;
+        }
         t.add_row({cell.workload, cell.config, format_double(cell.metrics.gmacs_per_sec(), 2),
                    format_double(cell.metrics.seconds * 1e6, 1) + " us",
                    format_bytes(static_cast<double>(cell.metrics.dram_bytes))});
+      }
       std::cout << t.to_string();
+      if (failed > 0) {
+        for (const auto& cell : cells)
+          if (!cell.ok()) std::cerr << "failed: " << cell.error << "\n";
+        std::cerr << "warning: " << failed << " of " << plan.cells.size()
+                  << " cells failed and were quarantined (--keep-going)\n";
+        return 2;
+      }
       return 0;
     }
 

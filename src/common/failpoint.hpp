@@ -1,0 +1,62 @@
+// Deterministic fault injection: a process-global registry of named
+// fail-point sites that recovery paths consult at runtime.  Production code
+// plants a site (`failpoint::maybe_throw("sweep.cell", key)` or
+// `failpoint::hit("checkpoint.append", key)`); tests and CI arm the site with
+// a spec describing exactly which hit should fault and how.  Unarmed sites
+// cost one relaxed atomic load, so the hooks stay in release builds and the
+// recovery paths CI exercises are the recovery paths production runs.
+//
+// Spec grammar (also accepted via the CELLO_FAILPOINTS environment variable,
+// `site=spec[;site=spec...]`, read once on first use):
+//
+//   spec    := action ['@' trigger]
+//   action  := throw | short_write | torn_write
+//   trigger := '*'            every hit (default)
+//            | <N>            the N-th hit of the site only (1-based)
+//            | key=<value>    every hit whose key equals <value>
+//
+// `throw` raises cello::Error at the site; `short_write` / `torn_write` are
+// interpreted by file-writing sites (write a prefix / garble bytes, then
+// fail) to simulate crashes mid-write.  Hit counting is per site under one
+// lock, so N-th-hit triggers are deterministic for single-threaded runs and
+// key triggers are deterministic under any thread count.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cello::failpoint {
+
+enum class Action { Throw, ShortWrite, TornWrite };
+
+struct Fault {
+  Action action;
+  std::string site;
+};
+
+/// Arm one site.  Throws cello::Error on a malformed spec.  Re-arming a site
+/// replaces its spec and resets its hit counter.
+void arm(const std::string& site, const std::string& spec);
+
+/// Arm every `site=spec` entry of a ';'-separated list (the CELLO_FAILPOINTS
+/// format).  Empty segments are ignored; malformed entries throw.
+void arm_from_string(const std::string& config);
+
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Hits recorded for an armed site (0 when the site is not armed).
+u64 hit_count(const std::string& site);
+
+/// Record one hit of `site` and return the armed fault when its trigger
+/// matches this hit.  The caller interprets the action; throw-sites can use
+/// maybe_throw below.  CELLO_FAILPOINTS is parsed on the first call.
+std::optional<Fault> hit(const std::string& site, const std::string& key = {});
+
+/// hit() + throw cello::Error for Action::Throw; other actions also throw
+/// (a pure throw-site has no write to shorten or tear).
+void maybe_throw(const std::string& site, const std::string& key = {});
+
+}  // namespace cello::failpoint

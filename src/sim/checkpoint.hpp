@@ -1,0 +1,82 @@
+// Crash-safe incremental sweep checkpointing: an append-only cell journal
+// that lets a killed shard resume instead of restarting, with output
+// byte-identical to an uninterrupted run.
+//
+// Format ("cello-ckpt/1", plain ASCII so a journal is inspectable with less):
+//
+//   cello-ckpt/1 fp=0x<16 hex> shard=<i>/<k> mode=<mode> sum=0x<16 hex>\n
+//   R <cell> <payload_len> 0x<16 hex FNV-1a of payload>\n
+//   <payload bytes>\n
+//   R ...
+//
+// The header binds the journal to one (grid fingerprint, shard plan): a
+// journal replayed against a drifted grid or the wrong shard refuses loudly.
+// Each record is one completed cell — its flattened row-major id plus the
+// hexfloat-exact SweepResult JSON from sim/result_io — length-prefixed and
+// FNV-checksummed.  Records are appended and fsync'd one at a time, so after
+// SIGKILL (or power loss) the file is a valid journal followed by at most one
+// torn record; read_journal() stops at the first damaged byte and reports how
+// much tail it dropped, and resuming truncates that tail before appending.
+// Cells parsed back from the journal are bit-identical to the run that wrote
+// them (hexfloat round-trip), which is what makes resume byte-exact.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/shard.hpp"
+
+namespace cello::sim {
+
+/// What a journal load recovered.
+struct CheckpointState {
+  /// Completed cells in journal (= completion) order; every cell id belongs
+  /// to the plan and every result is validated against its grid cell.
+  std::vector<std::pair<size_t, SweepResult>> completed;
+  size_t valid_bytes = 0;    ///< byte offset just past the last intact record
+  size_t dropped_bytes = 0;  ///< torn/corrupt tail discarded (0 = clean file)
+};
+
+/// Serialize the header line binding a journal to (grid, plan).
+std::string checkpoint_header(const SweepGrid& grid, const ShardPlan& plan);
+
+/// Parse journal bytes.  Header mismatches (format tag, fingerprint, shard
+/// index/count/mode) and internally inconsistent checksummed records (cell
+/// outside the plan, result naming the wrong cell, duplicate cell) throw
+/// cello::Error; a damaged *tail* — mid-record EOF, garbled checksum, torn
+/// framing — is expected crash fallout and is returned as dropped_bytes
+/// instead of an error.
+CheckpointState read_journal(const std::string& bytes, const SweepGrid& grid,
+                             const ShardPlan& plan);
+
+/// Append-only journal writer.  Copyable handle, one shared file descriptor;
+/// append() is thread-safe and durable (fsync per record).
+class CheckpointJournal {
+ public:
+  CheckpointJournal() = default;  ///< inactive: append() is a CHECK failure
+
+  /// Open `path` for appending.  A missing or empty file is initialized with
+  /// the header.  An existing journal requires resume=true: its records are
+  /// loaded into *state, any torn tail is truncated away, and appending
+  /// continues after the last intact record; without resume an existing
+  /// non-empty journal throws instead of being silently merged into.
+  static CheckpointJournal open(const std::string& path, const SweepGrid& grid,
+                                const ShardPlan& plan, bool resume, CheckpointState* state);
+
+  bool active() const { return impl_ != nullptr; }
+
+  /// Durably append one completed cell: write + fsync under a lock.
+  /// Fail-point site "checkpoint.append" (key = cell id) can inject a throw
+  /// before the write, a short write (half the record, then throw) or a torn
+  /// write (full-length record with a garbled payload byte, then throw) to
+  /// simulate crashes mid-append.
+  void append(size_t cell, const SweepResult& result);
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace cello::sim

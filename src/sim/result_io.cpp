@@ -414,6 +414,9 @@ void result_to_json(std::string& out, const SweepResult& r, int indent) {
   out += "{\n";
   out += in2 + "\"workload\": \"" + json_escape(r.workload) + "\",\n";
   out += in2 + "\"config\": \"" + json_escape(r.config) + "\",\n";
+  // The error key appears only on quarantined failure records, so files from
+  // all-success sweeps stay byte-identical to the pre-fault-tolerance format.
+  if (!r.error.empty()) out += in2 + "\"error\": \"" + json_escape(r.error) + "\",\n";
   out += in2 + "\"metrics\": ";
   metrics_to_json(out, r.metrics, indent + 2);
   out += "\n" + in + "}";
@@ -421,10 +424,15 @@ void result_to_json(std::string& out, const SweepResult& r, int indent) {
 
 SweepResult result_from_json(const JsonValue& v) {
   if (v.type != JsonValue::Type::Object) throw Error("sweep result: expected a JSON object");
-  reject_unknown_keys(v, {"workload", "config", "metrics"}, "sweep result");
+  reject_unknown_keys(v, {"workload", "config", "error", "metrics"}, "sweep result");
   SweepResult r;
   r.workload = v.at("workload").as_string();
   r.config = v.at("config").as_string();
+  if (const JsonValue* error = v.find("error")) {
+    r.error = error->as_string();
+    if (r.error.empty())
+      throw Error("sweep result: an error key must carry a non-empty message");
+  }
   r.metrics = metrics_from_json(v.at("metrics"));
   return r;
 }
@@ -435,7 +443,7 @@ namespace {
 
 constexpr const char* kCsvHeader =
     "workload,config,seconds,total_macs,dram_bytes,dram_read_bytes,dram_write_bytes,"
-    "offchip_energy_pj,onchip_energy_pj,sram_line_accesses,traffic_by_tensor,per_op";
+    "offchip_energy_pj,onchip_energy_pj,sram_line_accesses,traffic_by_tensor,per_op,error";
 
 std::string csv_field(const std::string& raw) {
   if (raw.find_first_of(",\"\n\r") == std::string::npos) return raw;
@@ -564,7 +572,7 @@ std::string results_to_csv(const std::vector<SweepResult>& rows) {
     out += hex_double(r.metrics.offchip_energy_pj) + ',';
     out += hex_double(r.metrics.onchip_energy_pj) + ',';
     out += std::to_string(r.metrics.sram_line_accesses) + ',';
-    out += csv_field(traffic) + ',' + csv_field(per_op) + '\n';
+    out += csv_field(traffic) + ',' + csv_field(per_op) + ',' + csv_field(r.error) + '\n';
   }
   return out;
 }
@@ -583,9 +591,9 @@ std::vector<SweepResult> results_from_csv(const std::string& text) {
   rows.reserve(records.size() - 1);
   for (size_t ri = 1; ri < records.size(); ++ri) {
     const auto& rec = records[ri];
-    if (rec.size() != 12)
+    if (rec.size() != 13)
       throw Error("CSV: row " + std::to_string(ri) + " has " + std::to_string(rec.size()) +
-                  " fields, expected 12");
+                  " fields, expected 13");
     SweepResult r;
     r.workload = rec[0];
     r.config = rec[1];
@@ -611,6 +619,7 @@ std::vector<SweepResult> results_from_csv(const std::string& text) {
       r.metrics.per_op.push_back({parts[0], parse_i64(parts[1], "per_op macs"),
                                   parse_u64(parts[2], "per_op dram_bytes")});
     }
+    r.error = rec[12];
     rows.push_back(std::move(r));
   }
   return rows;

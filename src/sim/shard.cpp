@@ -6,7 +6,10 @@
 #include <sstream>
 #include <utility>
 
+#include <fstream>
+
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "score/schedule.hpp"
 #include "sim/registry.hpp"
 #include "sim/result_io.hpp"
@@ -234,6 +237,7 @@ std::string shard_to_json(const ShardResult& shard) {
 }
 
 ShardResult shard_from_json(const std::string& text) {
+  failpoint::maybe_throw("shard.parse");
   const JsonValue doc = json_parse(text);
   if (doc.type != JsonValue::Type::Object) throw Error("shard file: expected a JSON object");
   reject_unknown_keys(doc, {"format", "grid", "shard", "results"}, "shard file");
@@ -291,6 +295,22 @@ ShardResult shard_from_json(const std::string& text) {
                   ")");
   }
   return shard;
+}
+
+ShardResult shard_from_json_file(const std::string& path) {
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("shard file '" + path + "': cannot read");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  try {
+    return shard_from_json(text);
+  } catch (const std::exception& e) {
+    throw Error("shard file '" + path + "': " + e.what());
+  }
 }
 
 std::vector<SweepResult> merge_shards(std::vector<ShardResult> shards) {

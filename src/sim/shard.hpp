@@ -99,8 +99,15 @@ std::string shard_to_json(const ShardResult& shard);
 
 /// Parse and validate a shard file: format tag, grid, plan bounds, result
 /// count, and that every result row names exactly the grid cell its plan
-/// position claims.  Throws cello::Error on any mismatch.
+/// position claims.  Throws cello::Error on any mismatch.  Fail-point site
+/// "shard.parse" can inject a load failure for recovery-path tests.
 ShardResult shard_from_json(const std::string& text);
+
+/// Read + parse one shard file.  Every failure — unreadable file, truncated
+/// or malformed JSON, grid/plan mismatch — is rethrown with the file path
+/// prefixed, so a merge over many shards quarantines (names) the bad file
+/// instead of leaving the operator to bisect an anonymous parse error.
+ShardResult shard_from_json_file(const std::string& path);
 
 /// Recombine shards (any order) into the exact row-major order a full
 /// SweepRunner::run of the grid produces.  Throws cello::Error when shards

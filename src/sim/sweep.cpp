@@ -10,7 +10,9 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "score/schedule.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/registry.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulator.hpp"
@@ -72,11 +74,16 @@ void parallel_for(u32 threads, size_t total,
 /// `cells`, when non-null, restricts the run to those flattened row-major
 /// cell ids (shard-scoped sweep): results come back in `cells` order and only
 /// the schedules/address maps those cells touch are prebuilt.  Null runs the
-/// whole grid in row-major order.
+/// whole grid in row-major order.  `grid`/`plan` carry the shard identity a
+/// checkpoint journal is keyed by; they are non-null exactly when the caller
+/// is run_shard.
 std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& workloads,
                                   const std::vector<Configuration>& configs,
                                   const AcceleratorConfig& arch,
-                                  const std::vector<size_t>* cells = nullptr) {
+                                  const std::vector<size_t>* cells = nullptr,
+                                  const SweepOptions& opts = {},
+                                  const SweepGrid* grid = nullptr,
+                                  const ShardPlan* plan = nullptr) {
   const size_t grid_size = workloads.size() * configs.size();
   const size_t total = cells != nullptr ? cells->size() : grid_size;
   std::vector<SweepResult> out(total);
@@ -85,6 +92,28 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     for (const size_t cell : *cells)
       CELLO_CHECK_MSG(cell < grid_size,
                       "shard cell " << cell << " outside the " << grid_size << "-cell grid");
+
+  // ---- checkpoint journal ----
+  // Cells recovered from an existing journal are marked done up front: they
+  // skip simulation entirely (their hexfloat-exact journal payloads are
+  // bit-identical to re-running them) and the prebuild below only builds what
+  // the still-pending cells touch.
+  CheckpointJournal journal;
+  std::vector<char> done(total, 0);
+  if (!opts.checkpoint.empty()) {
+    CELLO_CHECK_MSG(grid != nullptr && plan != nullptr,
+                    "checkpointing requires a shard-scoped run (SweepRunner::run_shard): the "
+                    "journal is keyed by the grid fingerprint");
+    CheckpointState state;
+    journal = CheckpointJournal::open(opts.checkpoint, *grid, *plan, opts.resume, &state);
+    std::map<size_t, size_t> job_of;  // flattened cell id -> index into `out`
+    for (size_t j = 0; j < cells->size(); ++j) job_of.emplace((*cells)[j], j);
+    for (auto& [cell, result] : state.completed) {
+      const size_t job = job_of.at(cell);  // read_journal validated membership
+      out[job] = std::move(result);
+      done[job] = 1;
+    }
+  }
 
   // ---- shared immutable prebuild ----
   // One AddressMap per distinct DAG and one score::Schedule per (DAG,
@@ -121,14 +150,17 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
   std::vector<std::vector<std::optional<score::ReuseIndex>>> reuse(
       unique_dag.size(), std::vector<std::optional<score::ReuseIndex>>(opt_keys.size()));
 
-  // A cell-restricted (shard) run prebuilds only what its cells touch; a full
-  // run touches every (DAG, options) pair by construction.
+  // A cell-restricted (shard) run prebuilds only what its *pending* cells
+  // touch — checkpoint-recovered cells need no schedule — while a full run
+  // touches every (DAG, options) pair by construction.
   const char all_needed = cells == nullptr ? 1 : 0;
   std::vector<char> map_needed(unique_dag.size(), all_needed);
   std::vector<std::vector<char>> sched_needed(unique_dag.size(),
                                               std::vector<char>(opt_keys.size(), all_needed));
   if (cells != nullptr) {
-    for (const size_t cell : *cells) {
+    for (size_t j = 0; j < cells->size(); ++j) {
+      if (done[j]) continue;
+      const size_t cell = (*cells)[j];
       const size_t di = dag_slot[cell / configs.size()];
       map_needed[di] = 1;
       sched_needed[di][config_slot[cell % configs.size()]] = 1;
@@ -177,15 +209,46 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
   // reallocated, between the cells that worker executes.
   std::vector<RunScratch> scratches(worker_count(threads, total));
   parallel_for(threads, total, [&](size_t job, u32 worker) {
+    if (done[job]) return;  // recovered from the checkpoint journal
     const size_t cell = cells != nullptr ? (*cells)[job] : job;
     const size_t wi = cell / configs.size();
     const size_t ci = cell % configs.size();
     const WorkloadView& wl = workloads[wi];
-    const Simulator simulator(arch, wl.matrix);
-    out[job] = {*wl.name, configs[ci].name,
-                simulator.run(*wl.dag, configs[ci], *scheds[dag_slot[wi]][config_slot[ci]],
-                              *maps[dag_slot[wi]], *reuse[dag_slot[wi]][config_slot[ci]],
-                              &scratches[worker])};
+    SweepResult result{*wl.name, configs[ci].name, {}, {}};
+    // Deterministic bounded retries: attempts run back-to-back on the same
+    // worker, so the final outcome is independent of thread scheduling.
+    std::string error;
+    for (u32 attempt = 0; attempt <= opts.retries; ++attempt) {
+      error.clear();
+      try {
+        failpoint::maybe_throw("sweep.cell", std::to_string(cell));
+        const Simulator simulator(arch, wl.matrix);
+        result.metrics =
+            simulator.run(*wl.dag, configs[ci], *scheds[dag_slot[wi]][config_slot[ci]],
+                          *maps[dag_slot[wi]], *reuse[dag_slot[wi]][config_slot[ci]],
+                          &scratches[worker]);
+        break;
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+    }
+    if (!error.empty()) {
+      // Every cell-level throw carries its full grid coordinates: a failure
+      // in a million-cell sweep names exactly what died and under what.
+      std::string context = "sweep cell " + std::to_string(cell) + " (workload '" + *wl.name +
+                            "', config '" + configs[ci].name + "') failed";
+      if (opts.retries > 0)
+        context += " after " + std::to_string(opts.retries + 1) + " attempts";
+      context += ": " + error;
+      if (!opts.keep_going) throw Error(context);
+      result.metrics = RunMetrics{};
+      result.error = std::move(context);
+    }
+    const bool completed = result.ok();
+    out[job] = std::move(result);
+    // Only successes are journaled: a quarantined failure stays pending, so a
+    // later resume (possibly with the fault fixed) re-runs it.
+    if (journal.active() && completed) journal.append(cell, out[job]);
   });
   return out;
 }
@@ -202,13 +265,23 @@ std::vector<Configuration> named_configs(const std::vector<std::string>& names) 
 std::vector<SweepResult> SweepRunner::run(const std::vector<Workload>& workloads,
                                           const std::vector<Configuration>& configs,
                                           const AcceleratorConfig& arch) const {
+  return run(workloads, configs, arch, SweepOptions{});
+}
+
+std::vector<SweepResult> SweepRunner::run(const std::vector<Workload>& workloads,
+                                          const std::vector<Configuration>& configs,
+                                          const AcceleratorConfig& arch,
+                                          const SweepOptions& options) const {
+  CELLO_CHECK_MSG(options.checkpoint.empty(),
+                  "checkpointing requires a shard-scoped run (SweepRunner::run_shard): the "
+                  "journal is keyed by the grid fingerprint");
   std::vector<WorkloadView> views;
   views.reserve(workloads.size());
   for (const auto& w : workloads) {
     CELLO_CHECK_MSG(w.dag != nullptr, "sweep workload '" << w.name << "' has no DAG");
     views.push_back({&w.name, w.dag.get(), w.matrix.get()});
   }
-  return run_grid(threads_, views, configs, arch);
+  return run_grid(threads_, views, configs, arch, nullptr, options);
 }
 
 std::vector<SweepResult> SweepRunner::run(const std::vector<Workload>& workloads,
@@ -239,6 +312,11 @@ std::vector<SweepResult> SweepRunner::run(const std::vector<std::string>& worklo
 
 std::vector<SweepResult> SweepRunner::run_shard(const SweepGrid& grid,
                                                 const ShardPlan& plan) const {
+  return run_shard(grid, plan, SweepOptions{});
+}
+
+std::vector<SweepResult> SweepRunner::run_shard(const SweepGrid& grid, const ShardPlan& plan,
+                                                const SweepOptions& options) const {
   // Resolve (build the DAG of, load the matrix of) only the workloads the
   // shard's cells actually touch: a shard of a dataset-heavy grid must not
   // pay — or even require access to — the other shards' datasets.  Untouched
@@ -258,7 +336,7 @@ std::vector<SweepResult> SweepRunner::run_shard(const SweepGrid& grid,
   for (size_t wi = 0; wi < grid.workloads.size(); ++wi)
     views.push_back(
         {&grid.workloads[wi], workloads[wi].dag.get(), workloads[wi].matrix.get()});
-  return run_grid(threads_, views, configs, grid.arch, &plan.cells);
+  return run_grid(threads_, views, configs, grid.arch, &plan.cells, options, &grid, &plan);
 }
 
 std::vector<SweepResult> SweepRunner::run(const std::vector<SweepWorkload>& workloads,

@@ -37,10 +37,38 @@ struct SweepWorkload {
   const sparse::CsrMatrix* matrix = nullptr;  ///< real sparsity; may be null
 };
 
+/// One grid cell's outcome: metrics on success, or a quarantined failure
+/// record (error non-empty, metrics zeroed) when the cell threw under
+/// SweepOptions::keep_going.  The error message always names the cell — its
+/// flattened index, workload spec and configuration name — so a failure in a
+/// million-cell sweep is attributable without re-running anything.
 struct SweepResult {
   std::string workload;
   std::string config;
   RunMetrics metrics;
+  std::string error;  ///< empty = success
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Fault-tolerance knobs for a sweep (see sim/checkpoint.hpp for the journal
+/// format).  Defaults reproduce the historical behavior: no journal, abort on
+/// the first failing cell, no retries.
+struct SweepOptions {
+  /// Quarantine failing cells as error records instead of aborting the sweep;
+  /// every other cell completes bit-identically to a clean run.
+  bool keep_going = false;
+  /// Re-run a failing cell up to this many extra times (deterministically, on
+  /// the same worker, before its error is recorded or rethrown) — transient
+  /// faults survive, persistent ones still fail with full context.
+  u32 retries = 0;
+  /// Append-only cell journal path; empty = no checkpointing.  Only valid for
+  /// shard-scoped runs (run_shard), whose grid fingerprint keys the journal.
+  std::string checkpoint;
+  /// Load an existing journal at `checkpoint` (skipping completed cells and
+  /// truncating any torn tail) instead of refusing to touch it.  A missing
+  /// journal file simply starts fresh, so retry loops can always pass this.
+  bool resume = false;
 };
 
 class SweepRunner {
@@ -50,11 +78,21 @@ class SweepRunner {
 
   /// Run every workload under every configuration.  Result i*configs+j holds
   /// workload i under configuration j.  The first exception thrown by any
-  /// cell is rethrown once the workers stop; a failure makes every worker
+  /// cell is rethrown — wrapped with the failing cell's index, workload and
+  /// configuration — once the workers stop; a failure makes every worker
   /// abandon the remaining cells instead of burning through the grid.
   std::vector<SweepResult> run(const std::vector<Workload>& workloads,
                                const std::vector<Configuration>& configs,
                                const AcceleratorConfig& arch) const;
+
+  /// Same grid with fault-tolerance knobs: keep_going quarantines failing
+  /// cells as error records, retries re-runs transient failures.  Options
+  /// requesting a checkpoint journal are rejected here — journals are keyed
+  /// by a grid fingerprint, so they require the shard-scoped entry point.
+  std::vector<SweepResult> run(const std::vector<Workload>& workloads,
+                               const std::vector<Configuration>& configs,
+                               const AcceleratorConfig& arch,
+                               const SweepOptions& options) const;
 
   /// Convenience: resolve configuration names in the global ConfigRegistry.
   std::vector<SweepResult> run(const std::vector<Workload>& workloads,
@@ -80,6 +118,15 @@ class SweepRunner {
   /// the same cell of a full-grid run, so merge_shards() reassembles the
   /// exact single-process result vector.
   std::vector<SweepResult> run_shard(const SweepGrid& grid, const ShardPlan& plan) const;
+
+  /// Shard run with fault tolerance: options.checkpoint appends every
+  /// completed cell to a crash-safe journal (sim/checkpoint.hpp) keyed by the
+  /// grid fingerprint; options.resume loads it, skips completed cells and
+  /// truncates any torn tail, making an interrupted-then-resumed shard
+  /// byte-identical to an uninterrupted one.  keep_going / retries behave as
+  /// in run(..., options).
+  std::vector<SweepResult> run_shard(const SweepGrid& grid, const ShardPlan& plan,
+                                     const SweepOptions& options) const;
 
   /// Legacy pre-built-DAG overloads (shims over the Workload path).
   std::vector<SweepResult> run(const std::vector<SweepWorkload>& workloads,

@@ -1,0 +1,211 @@
+// Robustness tests for sweep result persistence (sim/result_io, sim/shard):
+// truncated or garbled result files must fail with precise typed errors, a
+// merge must name its bad input file, and quarantined-failure records must
+// round-trip both JSON and CSV bit-exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "sim/result_io.hpp"
+#include "sim/shard.hpp"
+
+namespace {
+
+using namespace cello;
+using sim::ShardResult;
+using sim::SweepGrid;
+using sim::SweepResult;
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// A small shard whose results are synthetic (no simulation): every row names
+/// its grid cell, which is all shard_from_json validates.
+ShardResult synthetic_shard() {
+  const sim::AcceleratorConfig arch;
+  ShardResult shard;
+  shard.grid = sim::make_grid({"cg:m=9604,nnz=85264,n=16,iters=3"}, {"Flexagon", "Cello"},
+                              arch);
+  shard.plan = sim::plan_shard(shard.grid, 1, 1);
+  for (const size_t cell : shard.plan.cells) {
+    SweepResult r;
+    r.workload = shard.grid.workloads[cell / shard.grid.configs.size()];
+    r.config = shard.grid.configs[cell % shard.grid.configs.size()];
+    r.metrics.seconds = 0.1 * static_cast<double>(cell + 1);
+    r.metrics.dram_bytes = 1000 + cell;
+    shard.results.push_back(std::move(r));
+  }
+  return shard;
+}
+
+TEST(ResultIoRobustness, ErrorRecordRoundTripsJson) {
+  SweepResult r;
+  r.workload = "cg:m=16,n=4";
+  r.config = "Cello";
+  r.error = "sweep cell 3 (workload 'cg:m=16,n=4', config 'Cello') failed: boom";
+  std::string text;
+  sim::result_to_json(text, r, 0);
+  const SweepResult back = sim::result_from_json(sim::json_parse(text));
+  EXPECT_EQ(back.workload, r.workload);
+  EXPECT_EQ(back.config, r.config);
+  EXPECT_EQ(back.error, r.error);
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(ResultIoRobustness, CleanResultsEmitNoErrorKey) {
+  // Byte-compatibility: a clean run's JSON must look exactly like it did
+  // before quarantine records existed.
+  SweepResult r;
+  r.workload = "cg:m=16,n=4";
+  r.config = "Cello";
+  std::string text;
+  sim::result_to_json(text, r, 0);
+  EXPECT_EQ(text.find("\"error\""), std::string::npos) << text;
+}
+
+TEST(ResultIoRobustness, EmptyErrorMessageIsRejected) {
+  SweepResult r;
+  r.workload = "w";
+  r.config = "c";
+  r.error = "x";
+  std::string text;
+  sim::result_to_json(text, r, 0);
+  const size_t at = text.find("\"x\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string empty_error = text.substr(0, at) + "\"\"" + text.substr(at + 3);
+  EXPECT_THROW(sim::result_from_json(sim::json_parse(empty_error)), Error);
+}
+
+TEST(ResultIoRobustness, ErrorRecordRoundTripsCsvWithHostileCharacters) {
+  std::vector<SweepResult> rows(2);
+  rows[0].workload = "cg:m=16,n=4";
+  rows[0].config = "Cello";
+  rows[1].workload = "gnn:cora";
+  rows[1].config = "FLAT";
+  rows[1].error = "failed: \"quoted\", with, commas\nand a newline";
+  const std::string csv = sim::results_to_csv(rows);
+  const auto back = sim::results_from_csv(csv);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].ok());
+  EXPECT_EQ(back[1].error, rows[1].error);
+}
+
+TEST(ResultIoRobustness, TruncatedCsvFailsWithPreciseMessage) {
+  std::vector<SweepResult> rows(1);
+  rows[0].workload = "w";
+  rows[0].config = "c";
+  const std::string csv = sim::results_to_csv(rows);
+
+  EXPECT_THROW(sim::results_from_csv(""), Error);
+  try {
+    sim::results_from_csv(csv.substr(0, csv.size() / 2));
+    FAIL() << "expected cello::Error";
+  } catch (const Error& e) {
+    // Either the header or a row is cut; both must say what is wrong.
+    const std::string msg = e.what();
+    EXPECT_TRUE(msg.find("CSV") != std::string::npos) << msg;
+  }
+  // A file with a drifted header is a different format, not a sweep export.
+  const std::string drifted = "nope," + csv;
+  try {
+    sim::results_from_csv(drifted);
+    FAIL() << "expected cello::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unexpected header"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ResultIoRobustness, MalformedHexfloatsAreRejected) {
+  EXPECT_EQ(sim::parse_hex_double("0x1.8p1"), 3.0);
+  EXPECT_THROW(sim::parse_hex_double(""), Error);
+  EXPECT_THROW(sim::parse_hex_double("bogus"), Error);
+  EXPECT_THROW(sim::parse_hex_double("0x1.8p1 trailing"), Error);
+  EXPECT_THROW(sim::parse_hex_double("0x1.8p1garbage"), Error);
+}
+
+TEST(ResultIoRobustness, EveryTruncatedShardPrefixFailsCleanly) {
+  // SIGKILL can cut a result file at any byte.  No prefix may parse as a
+  // complete shard, and every one must fail with a typed error - not UB.
+  const std::string text = sim::shard_to_json(synthetic_shard());
+  // Stop before the closing brace: a cut inside trailing whitespace is not a
+  // truncation the parser could (or should) detect.
+  const size_t last_meaningful = text.find_last_of('}');
+  ASSERT_NE(last_meaningful, std::string::npos);
+  for (size_t len = 0; len <= last_meaningful; len += 7) {
+    try {
+      sim::shard_from_json(text.substr(0, len));
+      FAIL() << "prefix of " << len << " bytes parsed as a full shard";
+    } catch (const Error&) {
+      // expected: typed, catchable, message already validated elsewhere
+    }
+  }
+  EXPECT_EQ(sim::shard_from_json(text).results.size(), 2u);  // positive control
+}
+
+TEST(ResultIoRobustness, UnknownResultKeysAreRejected) {
+  SweepResult r;
+  r.workload = "w";
+  r.config = "c";
+  std::string text;
+  sim::result_to_json(text, r, 0);
+  std::string drifted = "{\"surprise\": 1, ";
+  drifted.append(text, 1, std::string::npos);
+  try {
+    sim::result_from_json(sim::json_parse(drifted));
+    FAIL() << "expected cello::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown key"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ResultIoRobustness, ShardFileLoaderNamesTheBadFile) {
+  const ShardResult shard = synthetic_shard();
+  const std::string good_path = "/tmp/cello_resio_good.json";
+  const std::string bad_path = "/tmp/cello_resio_bad.json";
+  const std::string text = sim::shard_to_json(shard);
+  write_file(good_path, text);
+  write_file(bad_path, text.substr(0, text.size() / 2));
+
+  EXPECT_EQ(sim::shard_from_json_file(good_path).results.size(), shard.results.size());
+  try {
+    sim::shard_from_json_file(bad_path);
+    FAIL() << "expected cello::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(bad_path), std::string::npos) << e.what();
+  }
+  try {
+    sim::shard_from_json_file("/tmp/cello_resio_not_here.json");
+    FAIL() << "expected cello::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cello_resio_not_here"), std::string::npos)
+        << e.what();
+  }
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST(ResultIoRobustness, ShardParseFailpointInjectsALoadFailure) {
+  const std::string path = "/tmp/cello_resio_failpoint.json";
+  write_file(path, sim::shard_to_json(synthetic_shard()));
+  failpoint::arm("shard.parse", "throw@1");
+  try {
+    sim::shard_from_json_file(path);
+    FAIL() << "expected the injected fault";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("injected fault"), std::string::npos) << msg;
+  }
+  failpoint::disarm_all();
+  EXPECT_NO_THROW(sim::shard_from_json_file(path));  // disarmed: loads again
+  std::remove(path.c_str());
+}
+
+}  // namespace
