@@ -11,6 +11,7 @@
 #include <chrono>
 
 #include "bench_util.hpp"
+#include "noc/topology.hpp"
 #include "sim/registry.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulator.hpp"
@@ -250,6 +251,48 @@ void BM_LlmDecodeSweepShared(benchmark::State& state) {
   }
 }
 
+// ---- multi-chip rows --------------------------------------------------------
+// The arch-driven scale-out path (Sec. V-B): partition the dominant rank,
+// simulate one node's shard, price the routed NoC collectives, fold back.
+// BM_MultinodeGnn pins the single-cell cost (gnn:cora on a 16-node torus,
+// where partition + routing ride on top of a now-smaller per-node run);
+// BM_MultinodeCgScaling pins a whole {1,4,16,64}-node fabric-axis column
+// through run_shard — the wall time of one scale-out sweep row per config,
+// including the shared 1-node baselines and per-fabric partition cache.
+
+const sim::Workload& gnn_workload() {
+  static const sim::Workload wl = sim::WorkloadRegistry::global().resolve("gnn:cora");
+  return wl;
+}
+
+void BM_MultinodeGnn(benchmark::State& state) {
+  auto arch = bench::table5_config(1e12, 4ull * 1024 * 1024);
+  arch.nodes = state.range(0);
+  arch.topology = noc::resolve_topology("torus", arch.nodes).to_string();
+  const auto& wl = gnn_workload();
+  const sim::Simulator simulator(arch, wl.matrix.get());
+  const sim::Configuration& config = sim::ConfigRegistry::global().at("Cello");
+  Bytes noc_bytes = 0;
+  for (auto _ : state) {
+    const sim::RunMetrics m = simulator.run(*wl.dag, config);
+    noc_bytes = m.noc_bytes;
+    benchmark::DoNotOptimize(noc_bytes);
+  }
+  state.counters["noc_bytes"] = benchmark::Counter(static_cast<double>(noc_bytes));
+}
+
+void BM_MultinodeCgScaling(benchmark::State& state) {
+  const auto arch = bench::table5_config(1e12, 4ull * 1024 * 1024);
+  const std::vector<std::string> fabrics = {"1", "mesh:2x2", "mesh:4x4", "mesh:8x8"};
+  const sim::SweepGrid grid =
+      sim::make_grid({"cg:iters=20,n=16"}, {"Flexagon", "Cello"}, arch, fabrics);
+  const sim::SweepRunner runner(/*threads=*/1);
+  for (auto _ : state) {
+    const auto cells = runner.run_shard(grid, sim::plan_shard(grid, 1, 1));
+    benchmark::DoNotOptimize(cells.back().metrics.noc_bytes);
+  }
+}
+
 }  // namespace
 
 // SRAM capacity in MiB — the Fig. 16(b) sweep points.
@@ -267,5 +310,8 @@ BENCHMARK(BM_LlmDecodeFlexKv)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LlmDecodeFlexLru)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LlmDecodeCello)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LlmDecodeSweepShared)->Unit(benchmark::kMillisecond);
+// Node count on the torus fabric — the scale-out single-cell row.
+BENCHMARK(BM_MultinodeGnn)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MultinodeCgScaling)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -7,7 +7,9 @@
 // Usage:
 //   ./example_cello_cli run       [--workload <spec>]... [--config <name>|all]
 //                                 [--bw <GB/s>] [--sram <MiB>]
+//                                 [--nodes <n>] [--topology mesh|torus:RxC|ring|crossbar]
 //   ./example_cello_cli sweep     [--workload <spec>]... [--jobs <n>]
+//                                 [--nodes <n>[,<n>...]] [--topology <kind>[,<kind>...]]
 //                                 [--shard <i>/<k>] [--shard-mode contiguous|strided]
 //                                 [--out results.json|results.csv]
 //                                 [--checkpoint <journal>] [--resume]
@@ -40,6 +42,7 @@
 // vs the pre-registry CLI: without --dataset, each kind resolves its own
 // documented default dataset (bicgstab -> nasa4704, gnn -> cora, power ->
 // G2_circuit) instead of the old global shallow_water1 default.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -50,6 +53,7 @@
 
 #include "cello/cello.hpp"
 #include "common/format.hpp"
+#include "noc/topology.hpp"
 #include "score/dependency.hpp"
 #include "sim/report.hpp"
 #include "sparse/datasets.hpp"
@@ -69,6 +73,8 @@ struct Options {
   std::optional<double> bw_gbps;  ///< default 1000
   std::optional<Bytes> sram_mib;  ///< default 4
   u32 jobs = 0;  // 0 = hardware concurrency
+  std::optional<std::string> nodes;     ///< run: one count; sweep: comma list
+  std::optional<std::string> topology;  ///< run: one spec; sweep: comma list
   std::optional<std::string> shard;       ///< "i/k" slice of the sweep grid
   std::optional<std::string> shard_mode;  ///< contiguous (default) | strided
   std::optional<std::string> out;      ///< sweep: write results here (.json/.csv)
@@ -97,6 +103,8 @@ Options parse(int argc, char** argv) {
     else if (auto v7 = next("--sram")) o.sram_mib = static_cast<Bytes>(std::stoull(*v7));
     else if (auto v8 = next("--config")) o.config = *v8;
     else if (auto v9 = next("--jobs")) o.jobs = static_cast<u32>(std::stoul(*v9));
+    else if (auto vn = next("--nodes")) o.nodes = *vn;
+    else if (auto vt = next("--topology")) o.topology = *vt;
     else if (auto v10 = next("--shard")) o.shard = *v10;
     else if (auto v11 = next("--shard-mode")) o.shard_mode = *v11;
     else if (auto v12 = next("--out")) o.out = *v12;
@@ -120,6 +128,11 @@ Options parse(int argc, char** argv) {
     throw Error("--shard/--shard-mode/--out apply only to the sweep command");
   if (o.command != "sweep" && (o.checkpoint || o.resume || o.keep_going || o.retries != 0))
     throw Error("--checkpoint/--resume/--keep-going/--retries apply only to the sweep command");
+  if ((o.nodes || o.topology) && o.command != "sweep" && o.command != "run" &&
+      o.command != "simulate")
+    throw Error("--nodes/--topology apply only to the run and sweep commands");
+  if (o.topology && !o.nodes)
+    throw Error("--topology needs --nodes to know how many chips to lay out");
   if (o.resume && !o.checkpoint)
     throw Error("--resume needs --checkpoint <journal> to know what to resume from");
   if (o.command == "merge" &&
@@ -199,6 +212,41 @@ void write_file(const std::string& path, const std::string& content) {
   if (!out) throw Error("cannot write '" + path + "'");
   out << content;
   if (!out.flush()) throw Error("failed writing '" + path + "'");
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  size_t at = 0;
+  while (at <= text.size()) {
+    const size_t comma = text.find(',', at);
+    const size_t end = comma == std::string::npos ? text.size() : comma;
+    out.push_back(text.substr(at, end - at));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+/// Cross "--nodes 1,4,16" with "--topology mesh,torus" into the canonical
+/// fabric axis, nodes-major ("1", "mesh:2x2", "torus:2x2", "mesh:4x4", ...).
+/// A single chip has no fabric, so n=1 collapses to one "1" entry whatever
+/// the topology list says; resolve_topology validates each (kind, count)
+/// pair, including explicit shapes that contradict a count.
+std::vector<std::string> fabric_specs(const Options& o) {
+  if (!o.nodes) return {};
+  const std::vector<std::string> topos =
+      o.topology ? split_csv(*o.topology) : std::vector<std::string>{"mesh"};
+  std::vector<std::string> fabs;
+  for (const std::string& count_text : split_csv(*o.nodes)) {
+    if (count_text.empty() || count_text.find_first_not_of("0123456789") != std::string::npos)
+      throw Error("--nodes expects a comma list of chip counts, got '" + count_text + "'");
+    const i64 count = std::stoll(count_text);
+    for (const std::string& topo : topos) {
+      const std::string spec = noc::resolve_topology(topo, count).to_string();
+      if (std::find(fabs.begin(), fabs.end(), spec) == fabs.end()) fabs.push_back(spec);
+    }
+  }
+  return fabs;
 }
 
 /// "--shard i/k" with 1-based i in [1, k]; plan_shard re-validates the range.
@@ -287,6 +335,20 @@ int run_cli(int argc, char** argv) {
   sim::AcceleratorConfig arch;
   arch.dram_bytes_per_sec = o.bw_gbps.value_or(1000) * 1e9;
   arch.sram_bytes = o.sram_mib.value_or(4) * 1024 * 1024;
+  if (o.nodes && o.command != "sweep") {
+    // run/simulate: one fabric on the arch itself (sweeps ride the grid's
+    // fabric axis instead, keeping the shared arch single-node).
+    if (o.nodes->find(',') != std::string::npos)
+      throw Error("run takes a single --nodes count; comma lists are for sweep");
+    if (o.topology && o.topology->find(',') != std::string::npos)
+      throw Error("run takes a single --topology; comma lists are for sweep");
+    if (o.nodes->empty() || o.nodes->find_first_not_of("0123456789") != std::string::npos)
+      throw Error("--nodes expects a chip count, got '" + *o.nodes + "'");
+    const noc::TopologySpec spec =
+        noc::resolve_topology(o.topology.value_or("mesh"), std::stoll(*o.nodes));
+    arch.nodes = spec.nodes();
+    arch.topology = spec.to_string();
+  }
 
   {
     const auto specs = workload_specs(o);
@@ -302,8 +364,8 @@ int run_cli(int argc, char** argv) {
       std::vector<std::string> spec_texts;
       spec_texts.reserve(specs.size());
       for (const auto& spec : specs) spec_texts.push_back(spec.to_string());
-      const sim::SweepGrid grid =
-          sim::make_grid(spec_texts, sim::ConfigRegistry::global().names(), arch);
+      const sim::SweepGrid grid = sim::make_grid(
+          spec_texts, sim::ConfigRegistry::global().names(), arch, fabric_specs(o));
       u32 shard_index = 1, shard_count = 1;
       if (o.shard) parse_shard_flag(*o.shard, shard_index, shard_count);
       const sim::ShardPlan plan = sim::plan_shard(
@@ -339,15 +401,34 @@ int run_cli(int argc, char** argv) {
         }
         return 0;
       }
-      TextTable t({"workload", "config", "GMACs/s", "time", "DRAM traffic"});
+      const bool fabric_axis = grid.has_fabric_axis();
+      TextTable t(fabric_axis
+                      ? std::vector<std::string>{"workload", "fabric", "config", "GMACs/s",
+                                                 "time", "DRAM traffic", "NoC traffic",
+                                                 "par eff"}
+                      : std::vector<std::string>{"workload", "config", "GMACs/s", "time",
+                                                 "DRAM traffic"});
       for (const auto& cell : cells) {
+        std::vector<std::string> row{cell.workload};
+        if (fabric_axis) row.push_back(cell.fabric.empty() ? "1" : cell.fabric);
+        row.push_back(cell.config);
         if (!cell.ok()) {
-          t.add_row({cell.workload, cell.config, "FAILED", "-", "-"});
-          continue;
+          row.insert(row.end(), fabric_axis ? 5 : 3, "-");
+          row[fabric_axis ? 3 : 2] = "FAILED";
+        } else {
+          row.push_back(format_double(cell.metrics.gmacs_per_sec(), 2));
+          row.push_back(format_double(cell.metrics.seconds * 1e6, 1) + " us");
+          row.push_back(format_bytes(static_cast<double>(cell.metrics.dram_bytes)));
+          if (fabric_axis) {
+            row.push_back(cell.metrics.nodes > 1
+                              ? format_bytes(static_cast<double>(cell.metrics.noc_bytes))
+                              : std::string("-"));
+            row.push_back(cell.metrics.nodes > 1
+                              ? format_double(cell.metrics.parallel_efficiency, 2)
+                              : std::string("-"));
+          }
         }
-        t.add_row({cell.workload, cell.config, format_double(cell.metrics.gmacs_per_sec(), 2),
-                   format_double(cell.metrics.seconds * 1e6, 1) + " us",
-                   format_bytes(static_cast<double>(cell.metrics.dram_bytes))});
+        t.add_row(std::move(row));
       }
       std::cout << t.to_string();
       if (failed > 0) {

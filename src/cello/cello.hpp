@@ -23,6 +23,17 @@
 //       "mine", cello::sim::SchedulePolicy::Score, cello::sim::brrip_cache(), "BRRIP");
 //   auto mine_m = simulator.run(*cg.dag, mine);
 //
+//   // Multi-chip scale-out (Sec. V-B): set a node count and a topology spec
+//   // ("mesh:4x4", "torus:8x8", "ring:16", "crossbar:8") on the arch and the
+//   // same run() shards the dominant rank, simulates one node's slice, and
+//   // folds routed per-link NoC traffic back into whole-system metrics
+//   // (noc_bytes, noc_seconds, max_link_utilization, parallel_efficiency):
+//   cello::sim::AcceleratorConfig multi = arch;
+//   multi.nodes = 16;
+//   multi.topology = "torus:4x4";
+//   auto scaled = cello::sim::Simulator(multi, gnn.matrix.get())
+//                     .run(*gnn.dag, registry.at("Cello"));
+//
 //   // Parallel {workloads} x {configs} grid with deterministic ordering;
 //   // each workload's DAG, schedule, address map and reuse index are built
 //   // once and shared read-only across the pool, and each pool worker
@@ -53,10 +64,12 @@
 #include <vector>
 
 #include "ir/dag.hpp"
+#include "noc/topology.hpp"
 #include "sim/config.hpp"
 #include "sim/configuration.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/partition.hpp"
 #include "sim/policies/cache_policy.hpp"
 #include "sim/policies/chord_policy.hpp"
 #include "sim/policies/explicit_buffers.hpp"

@@ -1,0 +1,261 @@
+#include "noc/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cello::noc {
+
+namespace {
+
+// Routing tables are O(verts^2); cap the fabric well past any sweep we run
+// but below anything that would silently eat memory.
+constexpr i64 kMaxNodes = 1024;
+
+i64 parse_count(const std::string& digits, const std::string& whole) {
+  CELLO_CHECK_MSG(!digits.empty(), "topology '" << whole << "': missing node count");
+  i64 v = 0;
+  for (char c : digits) {
+    CELLO_CHECK_MSG(c >= '0' && c <= '9',
+                    "topology '" << whole << "': '" << digits << "' is not a positive integer");
+    v = v * 10 + (c - '0');
+    CELLO_CHECK_MSG(v <= kMaxNodes, "topology '" << whole << "': at most " << kMaxNodes
+                                                 << " nodes supported");
+  }
+  CELLO_CHECK_MSG(v >= 1, "topology '" << whole << "': node count must be >= 1");
+  return v;
+}
+
+/// Squarest factoring r x (n/r) with r <= n/r; primes degrade to a 1xN chain.
+std::pair<i64, i64> auto_factor(i64 n) {
+  i64 best = 1;
+  for (i64 r = 1; r * r <= n; ++r) {
+    if (n % r == 0) best = r;
+  }
+  return {best, n / best};
+}
+
+TopoKind parse_kind(const std::string& name, const std::string& whole) {
+  if (name == "mesh") return TopoKind::Mesh;
+  if (name == "torus") return TopoKind::Torus;
+  if (name == "ring") return TopoKind::Ring;
+  if (name == "crossbar") return TopoKind::Crossbar;
+  throw Error("topology '" + whole + "': unknown kind '" + name +
+              "' (expected mesh, torus, ring, or crossbar)");
+}
+
+}  // namespace
+
+const char* to_string(TopoKind kind) {
+  switch (kind) {
+    case TopoKind::Single: return "single";
+    case TopoKind::Mesh: return "mesh";
+    case TopoKind::Torus: return "torus";
+    case TopoKind::Ring: return "ring";
+    case TopoKind::Crossbar: return "crossbar";
+  }
+  return "?";
+}
+
+std::string TopologySpec::to_string() const {
+  if (kind == TopoKind::Single) return "1";
+  std::ostringstream os;
+  os << noc::to_string(kind) << ':';
+  if (kind == TopoKind::Mesh || kind == TopoKind::Torus) {
+    os << rows << 'x' << cols;
+  } else {
+    os << cols;
+  }
+  return os.str();
+}
+
+TopologySpec TopologySpec::parse(const std::string& text) {
+  CELLO_CHECK_MSG(!text.empty(), "topology spec is empty");
+  if (text == "1" || text == "single") return TopologySpec{};
+
+  const size_t colon = text.find(':');
+  CELLO_CHECK_MSG(colon != std::string::npos,
+                  "topology '" << text << "': missing size (e.g. mesh:4x4, ring:16); "
+                               << "bare kinds resolve only against an explicit node count");
+  const TopoKind kind = parse_kind(text.substr(0, colon), text);
+  const std::string shape = text.substr(colon + 1);
+
+  TopologySpec spec;
+  spec.kind = kind;
+  if (kind == TopoKind::Mesh || kind == TopoKind::Torus) {
+    const size_t x = shape.find('x');
+    if (x == std::string::npos) {
+      // "mesh:12": factor into the squarest grid rather than padding up —
+      // every requested node exists, none are invented.
+      const i64 n = parse_count(shape, text);
+      const auto [r, c] = auto_factor(n);
+      spec.rows = r;
+      spec.cols = c;
+    } else {
+      spec.rows = parse_count(shape.substr(0, x), text);
+      spec.cols = parse_count(shape.substr(x + 1), text);
+      CELLO_CHECK_MSG(spec.rows * spec.cols <= kMaxNodes,
+                      "topology '" << text << "': at most " << kMaxNodes << " nodes supported");
+    }
+  } else {
+    CELLO_CHECK_MSG(shape.find('x') == std::string::npos,
+                    "topology '" << text << "': " << noc::to_string(kind)
+                                 << " takes a node count, not a shape");
+    spec.rows = 1;
+    spec.cols = parse_count(shape, text);
+  }
+  CELLO_CHECK_MSG(spec.nodes() >= 2,
+                  "topology '" << text << "': needs at least 2 nodes; use '1' for a single chip");
+  return spec;
+}
+
+TopologySpec resolve_topology(const std::string& text, i64 nodes) {
+  CELLO_CHECK_MSG(nodes >= 1, "node count must be >= 1 (got " << nodes << ")");
+  CELLO_CHECK_MSG(nodes <= kMaxNodes, "at most " << kMaxNodes << " nodes supported");
+  const bool bare = text == "mesh" || text == "torus" || text == "ring" || text == "crossbar";
+  if (nodes == 1) {
+    CELLO_CHECK_MSG(bare || text == "1" || text == "single",
+                    "topology '" << text << "' names a multi-node fabric but nodes=1");
+    return TopologySpec{};
+  }
+  if (bare) {
+    TopologySpec spec;
+    spec.kind = parse_kind(text, text);
+    if (spec.kind == TopoKind::Mesh || spec.kind == TopoKind::Torus) {
+      const auto [r, c] = auto_factor(nodes);
+      spec.rows = r;
+      spec.cols = c;
+    } else {
+      spec.rows = 1;
+      spec.cols = nodes;
+    }
+    return spec;
+  }
+  const TopologySpec spec = TopologySpec::parse(text);
+  CELLO_CHECK_MSG(spec.nodes() == nodes, "topology '" << text << "' has " << spec.nodes()
+                                                      << " nodes but nodes=" << nodes
+                                                      << " was requested");
+  return spec;
+}
+
+Topology Topology::build(const TopologySpec& spec) {
+  Topology t;
+  t.spec_ = spec;
+  const i64 n = spec.nodes();
+  const i64 verts = spec.kind == TopoKind::Crossbar ? n + 1 : n;
+  t.verts_ = verts;
+  t.nbrs_.assign(static_cast<size_t>(verts), {});
+
+  // Neighbor lists in canonical preference order; the BFS tie-break below
+  // picks the first neighbor on a shortest path, so this order *is* the
+  // routing function.  Mesh/torus list X (column) moves before Y moves:
+  // dimension-ordered XY routing, deadlock-free on the mesh.
+  auto connect = [&t](i32 v, i32 nb) {
+    for (const auto& [existing, link] : t.nbrs_[static_cast<size_t>(v)]) {
+      if (existing == nb) return;  // torus wrap on a 2-wide dim folds onto itself
+    }
+    t.nbrs_[static_cast<size_t>(v)].push_back({nb, t.links_.size()});
+    t.links_.push_back(Link{v, nb});
+  };
+
+  switch (spec.kind) {
+    case TopoKind::Single:
+      break;
+    case TopoKind::Mesh:
+    case TopoKind::Torus: {
+      const bool wrap = spec.kind == TopoKind::Torus;
+      const i64 rows = spec.rows, cols = spec.cols;
+      for (i64 r = 0; r < rows; ++r) {
+        for (i64 c = 0; c < cols; ++c) {
+          const i32 v = static_cast<i32>(r * cols + c);
+          auto at = [&](i64 rr, i64 cc) { return static_cast<i32>(rr * cols + cc); };
+          if (c > 0) connect(v, at(r, c - 1));
+          else if (wrap && cols > 1) connect(v, at(r, cols - 1));
+          if (c + 1 < cols) connect(v, at(r, c + 1));
+          else if (wrap && cols > 1) connect(v, at(r, 0));
+          if (r > 0) connect(v, at(r - 1, c));
+          else if (wrap && rows > 1) connect(v, at(rows - 1, c));
+          if (r + 1 < rows) connect(v, at(r + 1, c));
+          else if (wrap && rows > 1) connect(v, at(0, c));
+        }
+      }
+      break;
+    }
+    case TopoKind::Ring:
+      for (i64 v = 0; v < n; ++v) {
+        connect(static_cast<i32>(v), static_cast<i32>((v + n - 1) % n));
+        connect(static_cast<i32>(v), static_cast<i32>((v + 1) % n));
+      }
+      break;
+    case TopoKind::Crossbar: {
+      const i32 sw = static_cast<i32>(n);  // internal switch vertex
+      for (i64 v = 0; v < n; ++v) {
+        connect(static_cast<i32>(v), sw);  // injection port
+        connect(sw, static_cast<i32>(v)); // ejection port
+      }
+      break;
+    }
+  }
+
+  // All-pairs shortest paths: one BFS per destination (links are symmetric,
+  // so forward BFS from the destination yields distances *to* it).
+  constexpr i32 kInf = INT32_MAX;
+  t.dist_.assign(static_cast<size_t>(verts) * static_cast<size_t>(verts), kInf);
+  t.next_.assign(static_cast<size_t>(verts) * static_cast<size_t>(verts), -1);
+  for (i32 d = 0; d < verts; ++d) {
+    t.dist_[t.idx(d, d)] = 0;
+    std::queue<i32> q;
+    q.push(d);
+    while (!q.empty()) {
+      const i32 v = q.front();
+      q.pop();
+      for (const auto& [nb, link] : t.nbrs_[static_cast<size_t>(v)]) {
+        if (t.dist_[t.idx(nb, d)] == kInf) {
+          t.dist_[t.idx(nb, d)] = t.dist_[t.idx(v, d)] + 1;
+          q.push(nb);
+        }
+      }
+    }
+    for (i32 v = 0; v < verts; ++v) {
+      if (v == d) continue;
+      CELLO_CHECK_MSG(t.dist_[t.idx(v, d)] != kInf,
+                      "topology '" << spec.to_string() << "': node " << v << " cannot reach "
+                                   << d);
+      for (const auto& [nb, link] : t.nbrs_[static_cast<size_t>(v)]) {
+        if (t.dist_[t.idx(nb, d)] == t.dist_[t.idx(v, d)] - 1) {
+          t.next_[t.idx(v, d)] = nb;
+          break;
+        }
+      }
+    }
+  }
+  for (i64 s = 1; s < n; ++s) {
+    t.depth_ = std::max(t.depth_, t.hops(static_cast<i32>(s), 0));
+  }
+  return t;
+}
+
+i64 Topology::route(i32 src, i32 dst, Bytes bytes, std::vector<Bytes>* link_bytes) const {
+  CELLO_CHECK(src >= 0 && src < verts_ && dst >= 0 && dst < verts_);
+  i64 hops = 0;
+  i32 v = src;
+  while (v != dst) {
+    const i32 nb = next_[idx(v, dst)];
+    if (link_bytes != nullptr) {
+      for (const auto& [vertex, link] : nbrs_[static_cast<size_t>(v)]) {
+        if (vertex == nb) {
+          (*link_bytes)[link] += bytes;
+          break;
+        }
+      }
+    }
+    v = nb;
+    ++hops;
+    CELLO_CHECK(hops <= verts_);
+  }
+  return hops;
+}
+
+}  // namespace cello::noc

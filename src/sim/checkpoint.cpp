@@ -135,12 +135,16 @@ CheckpointState read_journal(const std::string& bytes, const SweepGrid& grid,
       throw Error("checkpoint journal: record for cell " + std::to_string(*cell) +
                   " passes its checksum but does not parse: " + e.what());
     }
-    const std::string& workload = grid.workloads[*cell / grid.configs.size()];
-    const std::string& config = grid.configs[*cell % grid.configs.size()];
-    if (result.workload != workload || result.config != config)
+    const size_t n_fabrics = grid.fabrics.size();
+    const size_t n_configs = grid.configs.size();
+    const std::string& workload = grid.workloads[*cell / (n_fabrics * n_configs)];
+    const std::string fabric =
+        grid.has_fabric_axis() ? grid.fabrics[(*cell / n_configs) % n_fabrics] : std::string();
+    const std::string& config = grid.configs[*cell % n_configs];
+    if (result.workload != workload || result.fabric != fabric || result.config != config)
       throw Error("checkpoint journal: record for cell " + std::to_string(*cell) +
-                  " names (" + result.workload + ", " + result.config + ") but that cell is (" +
-                  workload + ", " + config + ")");
+                  " names (" + result.workload + ", " + result.fabric + ", " + result.config +
+                  ") but that cell is (" + workload + ", " + fabric + ", " + config + ")");
 
     state.completed.emplace_back(static_cast<size_t>(*cell), std::move(result));
     pos = payload_at + *len + 1;

@@ -42,6 +42,17 @@ struct AcceleratorConfig {
   u32 chord_entries = 64;
   PipelineStyle pipeline_style = PipelineStyle::Parallel;
 
+  // ---- multi-chip scale-out (Sec. V-B) ------------------------------------
+  /// Chips cooperating on one run; 1 = the classic single-chip model.
+  i64 nodes = 1;
+  /// NoC spec string resolved against `nodes` (see noc/topology.hpp): a bare
+  /// kind ("mesh", "torus", "ring", "crossbar") is auto-shaped, an explicit
+  /// spec ("mesh:4x4") must match `nodes` exactly.
+  std::string topology = "mesh";
+  double noc_link_bytes_per_sec = 256e9;  ///< per directed fabric link
+  double noc_hop_seconds = 50e-9;         ///< per-hop router+wire latency
+  double noc_energy_pj_per_byte = 0.2;    ///< per byte per hop (0.8 pJ/word)
+
   double compute_seconds(i64 macs) const {
     return static_cast<double>(macs) / (static_cast<double>(num_macs) * clock_hz);
   }

@@ -28,6 +28,11 @@ struct Configuration {
   /// Knobs overriding the AcceleratorConfig for this configuration.
   std::optional<PipelineStyle> pipeline_style;
   std::optional<Bytes> hold_budget_bytes;
+  /// Multi-chip knobs (Sec. V-B): shard across `nodes` chips wired as
+  /// `topology` (a noc::TopologySpec string or bare kind).  Unset = inherit
+  /// the arch (whose default is the classic single chip).
+  std::optional<i64> nodes;
+  std::optional<std::string> topology;
 
   /// "<schedule> + <buffer>" summary, e.g. "SCORE + CHORD".
   std::string describe() const;

@@ -19,6 +19,14 @@ struct RunMetrics {
   double onchip_energy_pj = 0;
   u64 sram_line_accesses = 0;
 
+  // ---- multi-chip scale-out (nodes > 1 only; defaults = single chip) ------
+  i64 nodes = 1;                  ///< chips that cooperated on this run
+  Bytes noc_bytes = 0;            ///< cross-chip traffic in byte-hops (SCORE sharding)
+  Bytes naive_noc_bytes = 0;      ///< what shipping the sharded intermediates would move
+  double noc_seconds = 0;         ///< collective latency + busiest-link serialization
+  double max_link_utilization = 0;  ///< busiest link's share of its bandwidth-time
+  double parallel_efficiency = 0;   ///< 1-node seconds / (nodes * multi-node seconds)
+
   /// Per base-tensor DRAM traffic, for traffic-attribution studies.
   std::map<std::string, Bytes> traffic_by_tensor;
 

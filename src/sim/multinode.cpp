@@ -1,7 +1,8 @@
 #include "sim/multinode.hpp"
 
 #include "common/error.hpp"
-#include "workloads/cg.hpp"
+#include "noc/topology.hpp"
+#include "sim/partition.hpp"
 
 namespace cello::sim {
 
@@ -14,38 +15,43 @@ MultiNodeMetrics simulate_multinode(const std::function<ir::TensorDag(i64)>& sha
 
   const ir::TensorDag shard = shard_builder(nodes);
   mm.per_node = simulate(shard, kind, arch);
+  double baseline_seconds = mm.per_node.seconds;
 
-  noc::MeshNoc mesh;
-  mesh.nodes = nodes;
   if (nodes > 1) {
     // SCORE strategy: every small (RF-class) tensor produced by the shard is
     // the node's partial result of a contracted operator — it is reduced
-    // across nodes and the combined value broadcast back.
-    const i64 hops = mesh.broadcast_hops() + mesh.reduce_hops();
+    // across nodes and the combined value broadcast back.  The naive
+    // strategy splits pipelines across nodes instead, so each skewed
+    // intermediate crosses the NoC at least once per production.
+    std::vector<Partition::Transfer> transfers;
+    Bytes naive = 0;
     for (const auto& t : shard.tensors()) {
       if (!shard.producer(t.id).has_value()) continue;
-      if (t.bytes() > arch.rf_bytes) continue;
-      mm.noc_bytes += t.bytes() * static_cast<Bytes>(hops);
+      if (t.bytes() <= arch.rf_bytes) {
+        transfers.push_back({t.id, t.bytes(), ShardClass::Reduce});
+      } else {
+        naive += t.bytes() * static_cast<Bytes>(nodes);  // all shards move
+      }
     }
-    // Naive strategy: pipelines span nodes, so each skewed intermediate
-    // crosses the NoC at least once per production.
-    for (const auto& t : shard.tensors()) {
-      if (!shard.producer(t.id).has_value()) continue;
-      if (t.bytes() <= arch.rf_bytes) continue;
-      mm.naive_noc_bytes += t.bytes() * static_cast<Bytes>(nodes);  // all shards move
-    }
+    const noc::Topology topo = noc::Topology::build(noc::resolve_topology("mesh", nodes));
+    AcceleratorConfig pricing = arch;
+    pricing.noc_link_bytes_per_sec = noc_bytes_per_sec;
+    const NocCost cost = price_noc(transfers, topo, pricing);
+    mm.noc_bytes = cost.byte_hops;
+    mm.naive_noc_bytes = naive;
+    mm.noc_seconds = cost.seconds;
+
+    // Efficiency against the single-node run of the full problem — computed
+    // only when there is actual scale-out; a 1-node call IS the baseline.
+    baseline_seconds = simulate(shard_builder(1), kind, arch).seconds;
   }
-  mm.noc_seconds = static_cast<double>(mm.noc_bytes) / noc_bytes_per_sec;
   mm.seconds = mm.per_node.seconds + mm.noc_seconds;
 
   const double total_macs = static_cast<double>(mm.per_node.total_macs) *
                             static_cast<double>(nodes);
   mm.total_gmacs_per_sec = total_macs / mm.seconds / 1e9;
 
-  // Efficiency against the single-node run of the full problem.
-  const ir::TensorDag full = shard_builder(1);
-  const RunMetrics one = simulate(full, kind, arch);
-  const double speedup = one.seconds / mm.seconds;
+  const double speedup = baseline_seconds / mm.seconds;
   mm.parallel_efficiency = speedup / static_cast<double>(nodes);
   return mm;
 }

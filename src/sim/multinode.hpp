@@ -1,4 +1,4 @@
-// Multi-node execution model (Sec. V-B "Scalable Dataflow").
+// Multi-node execution model (Sec. V-B "Scalable Dataflow") — legacy shim.
 //
 // SCORE parallelizes the *dominant* rank across nodes: every node owns an
 // M/p shard of each skewed tensor (and of the sparse matrix's rows), keeps
@@ -8,6 +8,12 @@
 //
 // The contrast is the naive strategy that splits producer/consumer pipelines
 // across nodes and therefore ships the skewed intermediate itself.
+//
+// This entry point predates the Simulator multi-node path (set
+// AcceleratorConfig::nodes/topology, or the Configuration knobs, and
+// Simulator::run shards the DAG itself via sim/partition).  It survives as a
+// thin shim for callers that pre-shard through workload builders; transfers
+// are priced on an auto-shaped mesh by the same noc::Topology router.
 #pragma once
 
 #include <functional>
@@ -21,7 +27,7 @@ namespace cello::sim {
 struct MultiNodeMetrics {
   i64 nodes = 1;
   RunMetrics per_node;        ///< one node's shard simulation
-  Bytes noc_bytes = 0;        ///< SCORE strategy: small tensors x hops
+  Bytes noc_bytes = 0;        ///< SCORE strategy: small tensors x hops (byte-hops)
   Bytes naive_noc_bytes = 0;  ///< naive strategy: skewed intermediates x 1 hop min
   double noc_seconds = 0;
   double seconds = 0;         ///< per-node time + NoC serialization
@@ -32,8 +38,9 @@ struct MultiNodeMetrics {
 
 /// Simulate `kind` on `nodes` nodes.  `shard_builder(nodes)` must return the
 /// DAG of ONE node's shard (the workload builders parameterize M and nnz, so
-/// callers divide by the node count).  `full_builder()` returns the 1-node
-/// DAG used for the efficiency baseline and the naive-strategy traffic.
+/// callers divide by the node count); `shard_builder(1)` is the full 1-node
+/// DAG, evaluated once for the efficiency baseline — and not at all when
+/// `nodes == 1`, where the shard run IS the baseline.
 MultiNodeMetrics simulate_multinode(const std::function<ir::TensorDag(i64 nodes)>& shard_builder,
                                     ConfigKind kind, const AcceleratorConfig& arch, i64 nodes,
                                     double noc_bytes_per_sec = 256e9);

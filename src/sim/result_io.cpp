@@ -343,6 +343,16 @@ void metrics_to_json(std::string& out, const RunMetrics& m, int indent) {
   out += in2 + "\"offchip_energy_pj\": \"" + hex_double(m.offchip_energy_pj) + "\",\n";
   out += in2 + "\"onchip_energy_pj\": \"" + hex_double(m.onchip_energy_pj) + "\",\n";
   out += in2 + "\"sram_line_accesses\": " + std::to_string(m.sram_line_accesses) + ",\n";
+  // NoC fields appear only on multi-node runs, so single-chip result files
+  // keep the exact bytes (and golden diffs) of the pre-scale-out format.
+  if (m.nodes > 1) {
+    out += in2 + "\"nodes\": " + std::to_string(m.nodes) + ",\n";
+    out += in2 + "\"noc_bytes\": " + std::to_string(m.noc_bytes) + ",\n";
+    out += in2 + "\"naive_noc_bytes\": " + std::to_string(m.naive_noc_bytes) + ",\n";
+    out += in2 + "\"noc_seconds\": \"" + hex_double(m.noc_seconds) + "\",\n";
+    out += in2 + "\"max_link_utilization\": \"" + hex_double(m.max_link_utilization) + "\",\n";
+    out += in2 + "\"parallel_efficiency\": \"" + hex_double(m.parallel_efficiency) + "\",\n";
+  }
   out += in2 + "\"traffic_by_tensor\": {";
   if (m.traffic_by_tensor.empty()) {
     out += "},\n";
@@ -377,7 +387,9 @@ RunMetrics metrics_from_json(const JsonValue& v) {
   reject_unknown_keys(v,
                       {"seconds", "total_macs", "dram_bytes", "dram_read_bytes",
                        "dram_write_bytes", "offchip_energy_pj", "onchip_energy_pj",
-                       "sram_line_accesses", "traffic_by_tensor", "per_op"},
+                       "sram_line_accesses", "nodes", "noc_bytes", "naive_noc_bytes",
+                       "noc_seconds", "max_link_utilization", "parallel_efficiency",
+                       "traffic_by_tensor", "per_op"},
                       "metrics");
   RunMetrics m;
   m.seconds = v.at("seconds").as_double();
@@ -388,6 +400,18 @@ RunMetrics metrics_from_json(const JsonValue& v) {
   m.offchip_energy_pj = v.at("offchip_energy_pj").as_double();
   m.onchip_energy_pj = v.at("onchip_energy_pj").as_double();
   m.sram_line_accesses = v.at("sram_line_accesses").as_u64();
+  // Conditionally-emitted multi-node fields: absent = single-chip defaults.
+  if (const JsonValue* nodes = v.find("nodes")) {
+    m.nodes = nodes->as_i64();
+    if (m.nodes <= 1) throw Error("metrics: a nodes key must carry a count > 1");
+    m.noc_bytes = v.at("noc_bytes").as_u64();
+    m.naive_noc_bytes = v.at("naive_noc_bytes").as_u64();
+    m.noc_seconds = v.at("noc_seconds").as_double();
+    m.max_link_utilization = v.at("max_link_utilization").as_double();
+    m.parallel_efficiency = v.at("parallel_efficiency").as_double();
+  } else if (v.find("noc_bytes") != nullptr || v.find("noc_seconds") != nullptr) {
+    throw Error("metrics: NoC fields require a nodes key");
+  }
   const JsonValue& traffic = v.at("traffic_by_tensor");
   if (traffic.type != JsonValue::Type::Object)
     throw Error("metrics: traffic_by_tensor must be an object");
@@ -414,8 +438,10 @@ void result_to_json(std::string& out, const SweepResult& r, int indent) {
   out += "{\n";
   out += in2 + "\"workload\": \"" + json_escape(r.workload) + "\",\n";
   out += in2 + "\"config\": \"" + json_escape(r.config) + "\",\n";
-  // The error key appears only on quarantined failure records, so files from
-  // all-success sweeps stay byte-identical to the pre-fault-tolerance format.
+  // The fabric key appears only on rows from grids with a fabric axis, the
+  // error key only on quarantined failure records: files from classic
+  // all-success sweeps stay byte-identical to the historical format.
+  if (!r.fabric.empty()) out += in2 + "\"fabric\": \"" + json_escape(r.fabric) + "\",\n";
   if (!r.error.empty()) out += in2 + "\"error\": \"" + json_escape(r.error) + "\",\n";
   out += in2 + "\"metrics\": ";
   metrics_to_json(out, r.metrics, indent + 2);
@@ -424,10 +450,15 @@ void result_to_json(std::string& out, const SweepResult& r, int indent) {
 
 SweepResult result_from_json(const JsonValue& v) {
   if (v.type != JsonValue::Type::Object) throw Error("sweep result: expected a JSON object");
-  reject_unknown_keys(v, {"workload", "config", "error", "metrics"}, "sweep result");
+  reject_unknown_keys(v, {"workload", "config", "fabric", "error", "metrics"}, "sweep result");
   SweepResult r;
   r.workload = v.at("workload").as_string();
   r.config = v.at("config").as_string();
+  if (const JsonValue* fabric = v.find("fabric")) {
+    r.fabric = fabric->as_string();
+    if (r.fabric.empty())
+      throw Error("sweep result: a fabric key must carry a non-empty spec");
+  }
   if (const JsonValue* error = v.find("error")) {
     r.error = error->as_string();
     if (r.error.empty())
@@ -442,8 +473,11 @@ SweepResult result_from_json(const JsonValue& v) {
 namespace {
 
 constexpr const char* kCsvHeader =
-    "workload,config,seconds,total_macs,dram_bytes,dram_read_bytes,dram_write_bytes,"
-    "offchip_energy_pj,onchip_energy_pj,sram_line_accesses,traffic_by_tensor,per_op,error";
+    "workload,config,fabric,seconds,total_macs,dram_bytes,dram_read_bytes,dram_write_bytes,"
+    "offchip_energy_pj,onchip_energy_pj,sram_line_accesses,nodes,noc_bytes,naive_noc_bytes,"
+    "noc_seconds,max_link_utilization,parallel_efficiency,traffic_by_tensor,per_op,error";
+
+constexpr size_t kCsvFields = 20;
 
 std::string csv_field(const std::string& raw) {
   if (raw.find_first_of(",\"\n\r") == std::string::npos) return raw;
@@ -563,7 +597,7 @@ std::string results_to_csv(const std::vector<SweepResult>& rows) {
       if (!per_op.empty()) per_op += '|';
       per_op += op.op + ":" + std::to_string(op.macs) + ":" + std::to_string(op.dram_bytes);
     }
-    out += csv_field(r.workload) + ',' + csv_field(r.config) + ',';
+    out += csv_field(r.workload) + ',' + csv_field(r.config) + ',' + csv_field(r.fabric) + ',';
     out += hex_double(r.metrics.seconds) + ',';
     out += std::to_string(r.metrics.total_macs) + ',';
     out += std::to_string(r.metrics.dram_bytes) + ',';
@@ -572,6 +606,12 @@ std::string results_to_csv(const std::vector<SweepResult>& rows) {
     out += hex_double(r.metrics.offchip_energy_pj) + ',';
     out += hex_double(r.metrics.onchip_energy_pj) + ',';
     out += std::to_string(r.metrics.sram_line_accesses) + ',';
+    out += std::to_string(r.metrics.nodes) + ',';
+    out += std::to_string(r.metrics.noc_bytes) + ',';
+    out += std::to_string(r.metrics.naive_noc_bytes) + ',';
+    out += hex_double(r.metrics.noc_seconds) + ',';
+    out += hex_double(r.metrics.max_link_utilization) + ',';
+    out += hex_double(r.metrics.parallel_efficiency) + ',';
     out += csv_field(traffic) + ',' + csv_field(per_op) + ',' + csv_field(r.error) + '\n';
   }
   return out;
@@ -591,21 +631,28 @@ std::vector<SweepResult> results_from_csv(const std::string& text) {
   rows.reserve(records.size() - 1);
   for (size_t ri = 1; ri < records.size(); ++ri) {
     const auto& rec = records[ri];
-    if (rec.size() != 13)
+    if (rec.size() != kCsvFields)
       throw Error("CSV: row " + std::to_string(ri) + " has " + std::to_string(rec.size()) +
-                  " fields, expected 13");
+                  " fields, expected " + std::to_string(kCsvFields));
     SweepResult r;
     r.workload = rec[0];
     r.config = rec[1];
-    r.metrics.seconds = parse_hex_double(rec[2]);
-    r.metrics.total_macs = parse_i64(rec[3], "total_macs");
-    r.metrics.dram_bytes = parse_u64(rec[4], "dram_bytes");
-    r.metrics.dram_read_bytes = parse_u64(rec[5], "dram_read_bytes");
-    r.metrics.dram_write_bytes = parse_u64(rec[6], "dram_write_bytes");
-    r.metrics.offchip_energy_pj = parse_hex_double(rec[7]);
-    r.metrics.onchip_energy_pj = parse_hex_double(rec[8]);
-    r.metrics.sram_line_accesses = parse_u64(rec[9], "sram_line_accesses");
-    for (const std::string& entry : split(rec[10], ';')) {
+    r.fabric = rec[2];
+    r.metrics.seconds = parse_hex_double(rec[3]);
+    r.metrics.total_macs = parse_i64(rec[4], "total_macs");
+    r.metrics.dram_bytes = parse_u64(rec[5], "dram_bytes");
+    r.metrics.dram_read_bytes = parse_u64(rec[6], "dram_read_bytes");
+    r.metrics.dram_write_bytes = parse_u64(rec[7], "dram_write_bytes");
+    r.metrics.offchip_energy_pj = parse_hex_double(rec[8]);
+    r.metrics.onchip_energy_pj = parse_hex_double(rec[9]);
+    r.metrics.sram_line_accesses = parse_u64(rec[10], "sram_line_accesses");
+    r.metrics.nodes = parse_i64(rec[11], "nodes");
+    r.metrics.noc_bytes = parse_u64(rec[12], "noc_bytes");
+    r.metrics.naive_noc_bytes = parse_u64(rec[13], "naive_noc_bytes");
+    r.metrics.noc_seconds = parse_hex_double(rec[14]);
+    r.metrics.max_link_utilization = parse_hex_double(rec[15]);
+    r.metrics.parallel_efficiency = parse_hex_double(rec[16]);
+    for (const std::string& entry : split(rec[17], ';')) {
       const size_t eq = entry.find('=');
       if (eq == std::string::npos) throw Error("CSV: malformed traffic entry '" + entry + "'");
       if (!r.metrics.traffic_by_tensor
@@ -613,13 +660,13 @@ std::vector<SweepResult> results_from_csv(const std::string& text) {
                .second)
         throw Error("CSV: duplicate tensor '" + entry.substr(0, eq) + "' in traffic column");
     }
-    for (const std::string& entry : split(rec[11], '|')) {
+    for (const std::string& entry : split(rec[18], '|')) {
       const auto parts = split(entry, ':');
       if (parts.size() != 3) throw Error("CSV: malformed per_op entry '" + entry + "'");
       r.metrics.per_op.push_back({parts[0], parse_i64(parts[1], "per_op macs"),
                                   parse_u64(parts[2], "per_op dram_bytes")});
     }
-    r.error = rec[12];
+    r.error = rec[19];
     rows.push_back(std::move(r));
   }
   return rows;

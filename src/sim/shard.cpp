@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "noc/topology.hpp"
 #include "score/schedule.hpp"
 #include "sim/registry.hpp"
 #include "sim/result_io.hpp"
@@ -75,8 +76,23 @@ void arch_to_json(std::string& out, const AcceleratorConfig& a, int indent) {
   out += in2 + "\"rf_bytes\": " + std::to_string(a.rf_bytes) + ",\n";
   out += in2 + "\"hold_budget_bytes\": " + std::to_string(a.hold_budget_bytes) + ",\n";
   out += in2 + "\"chord_entries\": " + std::to_string(a.chord_entries) + ",\n";
-  out += in2 + "\"pipeline_style\": \"" + pipeline_style_name(a.pipeline_style) + "\"\n";
-  out += in + "}";
+  out += in2 + "\"pipeline_style\": \"" + pipeline_style_name(a.pipeline_style) + "\"";
+  // Multi-chip parameters are emitted only when they differ from the
+  // single-chip defaults, so classic grids keep their serialized form (and
+  // fingerprints, which hash this JSON) byte-identical.
+  const AcceleratorConfig defaults;
+  if (a.nodes != defaults.nodes) out += ",\n" + in2 + "\"nodes\": " + std::to_string(a.nodes);
+  if (a.topology != defaults.topology)
+    out += ",\n" + in2 + "\"topology\": \"" + json_escape(a.topology) + "\"";
+  if (a.noc_link_bytes_per_sec != defaults.noc_link_bytes_per_sec)
+    out += ",\n" + in2 + "\"noc_link_bytes_per_sec\": \"" + hex_double(a.noc_link_bytes_per_sec) +
+           "\"";
+  if (a.noc_hop_seconds != defaults.noc_hop_seconds)
+    out += ",\n" + in2 + "\"noc_hop_seconds\": \"" + hex_double(a.noc_hop_seconds) + "\"";
+  if (a.noc_energy_pj_per_byte != defaults.noc_energy_pj_per_byte)
+    out += ",\n" + in2 + "\"noc_energy_pj_per_byte\": \"" +
+           hex_double(a.noc_energy_pj_per_byte) + "\"";
+  out += "\n" + in + "}";
 }
 
 std::string arch_json(const AcceleratorConfig& a) {
@@ -91,7 +107,8 @@ AcceleratorConfig arch_from_json(const JsonValue& v) {
                       {"sram_bytes", "num_macs", "clock_hz", "line_bytes",
                        "cache_associativity", "dram_bytes_per_sec",
                        "dram_energy_pj_per_byte", "rf_bytes", "hold_budget_bytes",
-                       "chord_entries", "pipeline_style"},
+                       "chord_entries", "pipeline_style", "nodes", "topology",
+                       "noc_link_bytes_per_sec", "noc_hop_seconds", "noc_energy_pj_per_byte"},
                       "arch");
   AcceleratorConfig a;
   a.sram_bytes = v.at("sram_bytes").as_u64();
@@ -105,6 +122,14 @@ AcceleratorConfig arch_from_json(const JsonValue& v) {
   a.hold_budget_bytes = v.at("hold_budget_bytes").as_u64();
   a.chord_entries = static_cast<u32>(v.at("chord_entries").as_u64());
   a.pipeline_style = pipeline_style_from_name(v.at("pipeline_style").as_string());
+  // Conditionally-emitted multi-chip parameters: absent = defaults.
+  if (const JsonValue* nodes = v.find("nodes")) a.nodes = nodes->as_i64();
+  if (const JsonValue* topology = v.find("topology")) a.topology = topology->as_string();
+  if (const JsonValue* bw = v.find("noc_link_bytes_per_sec"))
+    a.noc_link_bytes_per_sec = bw->as_double();
+  if (const JsonValue* hop = v.find("noc_hop_seconds")) a.noc_hop_seconds = hop->as_double();
+  if (const JsonValue* e = v.find("noc_energy_pj_per_byte"))
+    a.noc_energy_pj_per_byte = e->as_double();
   return a;
 }
 
@@ -112,7 +137,8 @@ AcceleratorConfig arch_from_json(const JsonValue& v) {
 /// fingerprint collision cannot silently merge different grids.
 bool same_grid(const SweepGrid& a, const SweepGrid& b) {
   return a.fingerprint == b.fingerprint && a.workloads == b.workloads &&
-         a.configs == b.configs && arch_json(a.arch) == arch_json(b.arch);
+         a.fabrics == b.fabrics && a.configs == b.configs &&
+         arch_json(a.arch) == arch_json(b.arch);
 }
 
 std::string shard_label(const ShardPlan& plan) {
@@ -135,6 +161,10 @@ u64 grid_fingerprint(const SweepGrid& grid) {
   u64 h = 14695981039346656037ull;
   h = fnv1a(h, kFormatTag);
   for (const std::string& spec : grid.workloads) h = fnv1a(h, "w:" + spec);
+  // The fabric axis folds in only when present, so classic two-axis grids
+  // keep the fingerprints their existing shard files and journals carry.
+  if (grid.has_fabric_axis())
+    for (const std::string& fabric : grid.fabrics) h = fnv1a(h, "f:" + fabric);
   const Simulator scheduler(grid.arch);
   const auto& registry = ConfigRegistry::global();
   for (const std::string& name : grid.configs) {
@@ -146,6 +176,9 @@ u64 grid_fingerprint(const SweepGrid& grid) {
        << (c.pipeline_style ? pipeline_style_name(*c.pipeline_style) : "-") << '|'
        << (c.hold_budget_bytes ? std::to_string(*c.hold_budget_bytes) : "-") << '|'
        << opts.rf_bytes << '|' << opts.enable_pipelining << '|' << opts.minimize_swizzle;
+    // Multi-chip knobs fold in only when set, preserving historical hashes.
+    if (c.nodes) os << "|nodes:" << *c.nodes;
+    if (c.topology) os << "|topology:" << *c.topology;
     h = fnv1a(h, os.str());
   }
   h = fnv1a(h, "arch:" + arch_json(grid.arch));
@@ -154,13 +187,27 @@ u64 grid_fingerprint(const SweepGrid& grid) {
 
 SweepGrid make_grid(const std::vector<std::string>& workload_specs,
                     const std::vector<std::string>& config_names,
-                    const AcceleratorConfig& arch) {
+                    const AcceleratorConfig& arch,
+                    const std::vector<std::string>& fabrics) {
   CELLO_CHECK_MSG(!workload_specs.empty() && !config_names.empty(),
                   "a sweep grid needs at least one workload and one configuration");
+  CELLO_CHECK_MSG(arch.nodes == 1,
+                  "grid arch must be single-node; sweep node counts via the fabric axis");
   SweepGrid grid;
   grid.workloads.reserve(workload_specs.size());
   for (const std::string& text : workload_specs)
     grid.workloads.push_back(WorkloadSpec::parse(text).to_string());
+  if (!fabrics.empty()) {
+    grid.fabrics.clear();
+    for (const std::string& text : fabrics) {
+      const std::string canonical = noc::TopologySpec::parse(text).to_string();
+      CELLO_CHECK_MSG(std::find(grid.fabrics.begin(), grid.fabrics.end(), canonical) ==
+                          grid.fabrics.end(),
+                      "duplicate fabric '" << text << "' (canonical '" << canonical
+                                           << "') in the sweep grid");
+      grid.fabrics.push_back(canonical);
+    }
+  }
   grid.configs.reserve(config_names.size());
   const auto& registry = ConfigRegistry::global();
   for (const std::string& name : config_names)
@@ -209,6 +256,15 @@ std::string shard_to_json(const ShardResult& shard) {
     out += "      \"" + json_escape(grid.workloads[i]) + "\"" +
            (i + 1 < grid.workloads.size() ? ",\n" : "\n");
   out += "    ],\n";
+  if (grid.has_fabric_axis()) {
+    // Like the NoC arch keys: emitted only when the axis is swept, so
+    // classic two-axis shard files stay byte-identical.
+    out += "    \"fabrics\": [\n";
+    for (size_t i = 0; i < grid.fabrics.size(); ++i)
+      out += "      \"" + json_escape(grid.fabrics[i]) + "\"" +
+             (i + 1 < grid.fabrics.size() ? ",\n" : "\n");
+    out += "    ],\n";
+  }
   out += "    \"configs\": [\n";
   for (size_t i = 0; i < grid.configs.size(); ++i)
     out += "      \"" + json_escape(grid.configs[i]) + "\"" +
@@ -247,7 +303,7 @@ ShardResult shard_from_json(const std::string& text) {
 
   ShardResult shard;
   const JsonValue& grid_v = doc.at("grid");
-  reject_unknown_keys(grid_v, {"fingerprint", "workloads", "configs", "arch"},
+  reject_unknown_keys(grid_v, {"fingerprint", "workloads", "fabrics", "configs", "arch"},
                       "shard file grid");
   shard.grid.fingerprint = fingerprint_from_string(grid_v.at("fingerprint").as_string());
   const JsonValue& workloads_v = grid_v.at("workloads");
@@ -258,6 +314,19 @@ ShardResult shard_from_json(const std::string& text) {
   for (const JsonValue& c : configs_v.items) shard.grid.configs.push_back(c.as_string());
   if (shard.grid.workloads.empty() || shard.grid.configs.empty())
     throw Error("shard file grid: empty workload or configuration axis");
+  if (const JsonValue* fabrics_v = grid_v.find("fabrics")) {
+    if (fabrics_v->type != JsonValue::Type::Array || fabrics_v->items.empty())
+      throw Error("shard file grid: fabrics must be a non-empty array");
+    shard.grid.fabrics.clear();
+    for (const JsonValue& f : fabrics_v->items) {
+      const std::string& text = f.as_string();
+      // Parse to validate AND require the canonical spelling: a file saying
+      // "mesh:4" where the canonical axis says "mesh:2x2" is grid drift.
+      if (noc::TopologySpec::parse(text).to_string() != text)
+        throw Error("shard file grid: fabric '" + text + "' is not canonical");
+      shard.grid.fabrics.push_back(text);
+    }
+  }
   shard.grid.arch = arch_from_json(grid_v.at("arch"));
 
   const JsonValue& shard_v = doc.at("shard");
@@ -284,15 +353,21 @@ ShardResult shard_from_json(const std::string& text) {
     throw Error("shard file " + shard_label(shard.plan) + ": holds " +
                 std::to_string(shard.results.size()) + " results but its plan has " +
                 std::to_string(shard.plan.cells.size()) + " cells");
+  const size_t n_fabrics = shard.grid.fabrics.size();
+  const size_t n_configs = shard.grid.configs.size();
+  const bool fabric_axis = shard.grid.has_fabric_axis();
   for (size_t j = 0; j < shard.results.size(); ++j) {
     const size_t cell = shard.plan.cells[j];
-    const std::string& workload = shard.grid.workloads[cell / shard.grid.configs.size()];
-    const std::string& config = shard.grid.configs[cell % shard.grid.configs.size()];
-    if (shard.results[j].workload != workload || shard.results[j].config != config)
+    const std::string& workload = shard.grid.workloads[cell / (n_fabrics * n_configs)];
+    const std::string& fabric =
+        fabric_axis ? shard.grid.fabrics[(cell / n_configs) % n_fabrics] : std::string();
+    const std::string& config = shard.grid.configs[cell % n_configs];
+    if (shard.results[j].workload != workload || shard.results[j].fabric != fabric ||
+        shard.results[j].config != config)
       throw Error("shard file " + shard_label(shard.plan) + ": result " + std::to_string(j) +
-                  " names (" + shard.results[j].workload + ", " + shard.results[j].config +
-                  ") but cell " + std::to_string(cell) + " is (" + workload + ", " + config +
-                  ")");
+                  " names (" + shard.results[j].workload + ", " + shard.results[j].fabric +
+                  ", " + shard.results[j].config + ") but cell " + std::to_string(cell) +
+                  " is (" + workload + ", " + fabric + ", " + config + ")");
   }
   return shard;
 }

@@ -10,7 +10,8 @@
 // arch refuses to merge loudly instead of interleaving incomparable rows.
 //
 // Shards are planned, never enumerated by hand: plan_shard(grid, i, k, mode)
-// assigns every flattened row-major cell id (wi * configs.size() + ci) to
+// assigns every flattened row-major cell id (workload-major, fabric, then
+// configuration — see SweepGrid) to
 // exactly one shard i in 1..k, either as one contiguous span per shard or
 // strided round-robin.  Shard files store only (i, k, mode) plus the grid;
 // the cell list is rederived on load, so a file cannot lie about which cells
@@ -44,22 +45,33 @@ const char* to_string(ShardMode m);
 ShardMode shard_mode_from_string(const std::string& text);
 
 /// The full grid definition every shard of a distributed sweep must share.
+/// Cells are flattened row-major over (workload, fabric, configuration):
+/// cell = (wi * fabrics.size() + fi) * configs.size() + ci.  The default
+/// single-entry {"1"} fabric axis keeps two-axis grids — their cell ids,
+/// fingerprints and serialized form — exactly as before.
 struct SweepGrid {
   std::vector<std::string> workloads;  ///< canonical WorkloadSpec strings
+  std::vector<std::string> fabrics{"1"};  ///< canonical noc::TopologySpec strings
   std::vector<std::string> configs;    ///< registered configuration names
   AcceleratorConfig arch;
   u64 fingerprint = 0;  ///< grid_fingerprint() of the fields above
 
-  size_t cells() const { return workloads.size() * configs.size(); }
+  size_t cells() const { return workloads.size() * fabrics.size() * configs.size(); }
+  /// True when the grid sweeps fabrics beyond the single-chip default.
+  bool has_fabric_axis() const { return fabrics.size() != 1 || fabrics[0] != "1"; }
 };
 
 /// Canonicalize and validate a grid: every spec is parsed to its canonical
 /// string and every configuration name resolved (and normalized) in the
-/// global ConfigRegistry, then the fingerprint is computed.  Throws
-/// cello::Error on an empty axis, a malformed spec or an unknown config.
+/// global ConfigRegistry, then the fingerprint is computed.  `fabrics` are
+/// noc::TopologySpec strings ("1", "mesh:2x2", "torus:16", ...); empty =
+/// the single-chip default.  Throws cello::Error on an empty axis, a
+/// malformed or duplicate spec, an unknown config, or a multi-node `arch`
+/// (node counts ride the fabric axis, not the shared arch).
 SweepGrid make_grid(const std::vector<std::string>& workload_specs,
                     const std::vector<std::string>& config_names,
-                    const AcceleratorConfig& arch);
+                    const AcceleratorConfig& arch,
+                    const std::vector<std::string>& fabrics = {});
 
 /// FNV-1a over the canonical grid definition: spec strings, configuration
 /// names plus their schedule options / buffer composition / knob overrides,

@@ -4,7 +4,9 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "noc/topology.hpp"
 #include "sim/address_map.hpp"
+#include "sim/partition.hpp"
 #include "sim/policies/schedule_policy.hpp"
 #include "sim/registry.hpp"
 
@@ -26,6 +28,8 @@ AcceleratorConfig Simulator::effective_arch(const Configuration& config) const {
   AcceleratorConfig arch = arch_;
   if (config.pipeline_style) arch.pipeline_style = *config.pipeline_style;
   if (config.hold_budget_bytes) arch.hold_budget_bytes = *config.hold_budget_bytes;
+  if (config.nodes) arch.nodes = *config.nodes;
+  if (config.topology) arch.topology = *config.topology;
   return arch;
 }
 
@@ -51,6 +55,26 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, ConfigKind kind) const {
 }
 
 RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config) const {
+  const AcceleratorConfig arch = effective_arch(config);
+  if (arch.nodes > 1) {
+    // Multi-chip path (Sec. V-B): shard the dominant rank, run one node's
+    // slice through the exact single-chip machinery, then fold NoC traffic
+    // and the 1-node baseline into whole-system metrics.  Any sparse-matrix
+    // context describes the full workload; the shard run keeps it as an
+    // approximation of one node's slice of the sparsity structure.
+    const noc::Topology topo =
+        noc::Topology::build(noc::resolve_topology(arch.topology, arch.nodes));
+    const Partition part = build_partition(dag, arch.nodes);
+    AcceleratorConfig single = arch;
+    single.nodes = 1;
+    Configuration inner = config;
+    inner.nodes.reset();
+    inner.topology.reset();
+    const Simulator node_sim(single, matrix_);
+    const RunMetrics per_node = node_sim.run(part.shard, inner);
+    const RunMetrics baseline = node_sim.run(dag, inner);
+    return fold_multinode(per_node, baseline.seconds, part, topo, arch);
+  }
   const Schedule sched = make_schedule(dag, config);
   const AddressMap map = AddressMap::build(dag);
   return run(dag, config, sched, map);
@@ -73,6 +97,9 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
                                         << map.entries.size()
                                         << " — artifacts from different workloads?");
   const AcceleratorConfig arch = effective_arch(config);
+  CELLO_CHECK_MSG(arch.nodes <= 1,
+                  "prebuilt-artifact runs are single-chip; multi-node runs go through "
+                  "Simulator::run(dag, config) or the sweep fabric axis");
   const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
   const size_t n_bases = map.entries.size();
 

@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
+#include "noc/topology.hpp"
 #include "score/schedule.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/partition.hpp"
 #include "sim/registry.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulator.hpp"
@@ -71,20 +75,40 @@ void parallel_for(u32 threads, size_t total,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+/// One grid row after the fabric axis is applied: a (workload, fabric) pair.
+/// Multi-node rows run the workload's shard DAG (one node's slice) and fold
+/// the NoC cost in afterwards; single-node rows are the workload unchanged.
+struct RowView {
+  const ir::TensorDag* dag = nullptr;   ///< effective DAG (shard for nodes > 1)
+  const Partition* part = nullptr;      ///< non-null exactly when nodes > 1
+  std::string error;                    ///< partition failure, reported per cell
+};
+
 /// `cells`, when non-null, restricts the run to those flattened row-major
 /// cell ids (shard-scoped sweep): results come back in `cells` order and only
 /// the schedules/address maps those cells touch are prebuilt.  Null runs the
-/// whole grid in row-major order.  `grid`/`plan` carry the shard identity a
-/// checkpoint journal is keyed by; they are non-null exactly when the caller
-/// is run_shard.
+/// whole grid in row-major order.  `fabrics`, when non-null, inserts the
+/// fabric axis between workloads and configs (canonical TopologySpec strings;
+/// requires `cells`).  `grid`/`plan` carry the shard identity a checkpoint
+/// journal is keyed by; they are non-null exactly when the caller is
+/// run_shard.
 std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& workloads,
                                   const std::vector<Configuration>& configs,
                                   const AcceleratorConfig& arch,
+                                  const std::vector<std::string>* fabrics = nullptr,
                                   const std::vector<size_t>* cells = nullptr,
                                   const SweepOptions& opts = {},
                                   const SweepGrid* grid = nullptr,
                                   const ShardPlan* plan = nullptr) {
-  const size_t grid_size = workloads.size() * configs.size();
+  static const std::vector<std::string> kSingleChip{"1"};
+  const std::vector<std::string>& fabs =
+      fabrics != nullptr && !fabrics->empty() ? *fabrics : kSingleChip;
+  const bool fabric_axis = fabs.size() != 1 || fabs[0] != "1";
+  CELLO_CHECK_MSG(fabrics == nullptr || cells != nullptr,
+                  "a fabric axis requires a shard-scoped run");
+  const size_t F = fabs.size();
+  const size_t C = configs.size();
+  const size_t grid_size = workloads.size() * F * C;
   const size_t total = cells != nullptr ? cells->size() : grid_size;
   std::vector<SweepResult> out(total);
   if (total == 0) return out;
@@ -92,6 +116,19 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     for (const size_t cell : *cells)
       CELLO_CHECK_MSG(cell < grid_size,
                       "shard cell " << cell << " outside the " << grid_size << "-cell grid");
+
+  // Parse each fabric once; nodes > 1 fabrics carry the routed topology the
+  // fold prices collectives against.
+  struct FabricInfo {
+    i64 nodes = 1;
+    std::optional<noc::Topology> topo;
+  };
+  std::vector<FabricInfo> finfo(F);
+  for (size_t fi = 0; fi < F; ++fi) {
+    const noc::TopologySpec spec = noc::TopologySpec::parse(fabs[fi]);
+    finfo[fi].nodes = spec.nodes();
+    if (finfo[fi].nodes > 1) finfo[fi].topo = noc::Topology::build(spec);
+  }
 
   // ---- checkpoint journal ----
   // Cells recovered from an existing journal are marked done up front: they
@@ -134,12 +171,77 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     if (it == opt_keys.end()) opt_keys.push_back(opts);
   }
 
+  // ---- fabric rows ----
+  // Partition each workload once per distinct (DAG, node count): two fabrics
+  // with equal node counts (mesh:2x2 and torus:2x2) share one shard DAG, and
+  // a partition that cannot be built (more nodes than the shard rank has
+  // extent) quarantines its cells instead of killing the shard.  Serial and
+  // in row order, so shard DAG construction is deterministic.
+  std::deque<Partition> partitions;  // deque: stable addresses as it grows
+  std::map<std::pair<const ir::TensorDag*, i64>, const Partition*> part_cache;
+  std::vector<char> row_used(workloads.size() * F, cells == nullptr ? 1 : 0);
+  if (cells != nullptr)
+    for (size_t j = 0; j < cells->size(); ++j)
+      if (!done[j]) row_used[(*cells)[j] / C] = 1;
+  std::vector<RowView> rows(workloads.size() * F);
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    for (size_t fi = 0; fi < F; ++fi) {
+      const size_t rf = wi * F + fi;
+      RowView& row = rows[rf];
+      row.dag = workloads[wi].dag;
+      if (!row_used[rf] || row.dag == nullptr || finfo[fi].nodes <= 1) continue;
+      const auto key = std::make_pair(row.dag, finfo[fi].nodes);
+      auto it = part_cache.find(key);
+      if (it == part_cache.end()) {
+        try {
+          partitions.push_back(build_partition(*row.dag, finfo[fi].nodes));
+          it = part_cache.emplace(key, &partitions.back()).first;
+        } catch (const std::exception& e) {
+          it = part_cache.emplace(key, nullptr).first;
+          row.error = e.what();
+        }
+      }
+      row.part = it->second;
+      if (row.part != nullptr) {
+        row.dag = &row.part->shard;
+      } else if (row.error.empty()) {
+        // A later row hitting an already-failed cache entry re-derives the
+        // message so its cells still explain themselves.
+        try {
+          build_partition(*workloads[wi].dag, finfo[fi].nodes);
+        } catch (const std::exception& e) {
+          row.error = e.what();
+        }
+        row.dag = nullptr;
+      } else {
+        row.dag = nullptr;
+      }
+    }
+  }
+
   // Prebuilds key on DAG identity, not grid row: listing the same resolved
-  // workload twice shares its AddressMap and schedules too.
+  // workload twice shares its AddressMap and schedules too.  Multi-node rows
+  // register their shard DAG; the original full DAG is registered separately
+  // below for the parallel-efficiency baseline those rows also need.
   std::map<const ir::TensorDag*, size_t> unique_dag;
-  std::vector<size_t> dag_slot(workloads.size());
-  for (size_t wi = 0; wi < workloads.size(); ++wi)
-    dag_slot[wi] = unique_dag.emplace(workloads[wi].dag, unique_dag.size()).first->second;
+  std::vector<size_t> dag_slot(rows.size());
+  for (size_t rf = 0; rf < rows.size(); ++rf)
+    dag_slot[rf] = unique_dag.emplace(rows[rf].dag, unique_dag.size()).first->second;
+
+  // The 1-node baseline runs once per (workload, config) any pending
+  // multi-node cell touches.
+  std::set<std::pair<size_t, size_t>> baseline_keys;
+  std::vector<size_t> wl_dag_slot(workloads.size(), SIZE_MAX);
+  for (size_t j = 0; j < total; ++j) {
+    if (done[j]) continue;
+    const size_t cell = cells != nullptr ? (*cells)[j] : j;
+    const size_t rf = cell / C;
+    if (rows[rf].part == nullptr) continue;
+    const size_t wi = rf / F;
+    baseline_keys.emplace(wi, cell % C);
+    if (wl_dag_slot[wi] == SIZE_MAX)
+      wl_dag_slot[wi] = unique_dag.emplace(workloads[wi].dag, unique_dag.size()).first->second;
+  }
 
   std::vector<std::optional<AddressMap>> maps(unique_dag.size());
   std::vector<std::vector<std::optional<score::Schedule>>> scheds(
@@ -161,9 +263,18 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     for (size_t j = 0; j < cells->size(); ++j) {
       if (done[j]) continue;
       const size_t cell = (*cells)[j];
-      const size_t di = dag_slot[cell / configs.size()];
+      const size_t rf = cell / C;
+      if (rows[rf].dag == nullptr) continue;  // unresolved row or failed partition
+      const size_t di = dag_slot[rf];
+      const size_t ki = config_slot[cell % C];
       map_needed[di] = 1;
-      sched_needed[di][config_slot[cell % configs.size()]] = 1;
+      sched_needed[di][ki] = 1;
+      if (rows[rf].part != nullptr) {
+        // Multi-node cells also replay the full DAG once for the baseline.
+        const size_t bdi = wl_dag_slot[rf / F];
+        map_needed[bdi] = 1;
+        sched_needed[bdi][ki] = 1;
+      }
     }
   }
 
@@ -208,13 +319,46 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
   // cursors, attribution scratch, pooled buffer policies) is reset, not
   // reallocated, between the cells that worker executes.
   std::vector<RunScratch> scratches(worker_count(threads, total));
+
+  // ---- 1-node baselines ----
+  // Parallel-efficiency needs "the whole workload on one chip" per (workload,
+  // config); run those once up front against the same shared artifacts, so a
+  // {1,4,16,64}-node column reuses one baseline instead of re-simulating it
+  // per fabric.  A baseline failure quarantines only the cells that fold it.
+  struct Baseline {
+    double seconds = 0;
+    std::string error;
+  };
+  std::map<std::pair<size_t, size_t>, Baseline> baselines;
+  std::vector<std::pair<size_t, size_t>> bkeys(baseline_keys.begin(), baseline_keys.end());
+  for (const auto& key : bkeys) baselines.emplace(key, Baseline{});
+  parallel_for(threads, bkeys.size(), [&](size_t j, u32 worker) {
+    const auto [wi, ci] = bkeys[j];
+    const size_t di = wl_dag_slot[wi];
+    const size_t ki = config_slot[ci];
+    Baseline& base = baselines.find(bkeys[j])->second;
+    try {
+      const Simulator simulator(arch, workloads[wi].matrix);
+      base.seconds = simulator
+                         .run(*workloads[wi].dag, configs[ci], *scheds[di][ki], *maps[di],
+                              *reuse[di][ki], &scratches[worker])
+                         .seconds;
+    } catch (const std::exception& e) {
+      base.error = e.what();
+    }
+  });
+
   parallel_for(threads, total, [&](size_t job, u32 worker) {
     if (done[job]) return;  // recovered from the checkpoint journal
     const size_t cell = cells != nullptr ? (*cells)[job] : job;
-    const size_t wi = cell / configs.size();
-    const size_t ci = cell % configs.size();
+    const size_t rf = cell / C;
+    const size_t ci = cell % C;
+    const size_t fi = rf % F;
+    const size_t wi = rf / F;
+    const RowView& row = rows[rf];
     const WorkloadView& wl = workloads[wi];
-    SweepResult result{*wl.name, configs[ci].name, {}, {}};
+    SweepResult result{*wl.name, configs[ci].name, {}, {}, {}};
+    if (fabric_axis) result.fabric = fabs[fi];
     // Deterministic bounded retries: attempts run back-to-back on the same
     // worker, so the final outcome is independent of thread scheduling.
     std::string error;
@@ -222,11 +366,19 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
       error.clear();
       try {
         failpoint::maybe_throw("sweep.cell", std::to_string(cell));
+        if (!row.error.empty()) throw Error(row.error);
         const Simulator simulator(arch, wl.matrix);
         result.metrics =
-            simulator.run(*wl.dag, configs[ci], *scheds[dag_slot[wi]][config_slot[ci]],
-                          *maps[dag_slot[wi]], *reuse[dag_slot[wi]][config_slot[ci]],
+            simulator.run(*row.dag, configs[ci], *scheds[dag_slot[rf]][config_slot[ci]],
+                          *maps[dag_slot[rf]], *reuse[dag_slot[rf]][config_slot[ci]],
                           &scratches[worker]);
+        if (row.part != nullptr) {
+          const Baseline& base = baselines.at({wi, ci});
+          if (!base.error.empty())
+            throw Error("1-node baseline failed: " + base.error);
+          result.metrics = fold_multinode(result.metrics, base.seconds, *row.part,
+                                          *finfo[fi].topo, arch);
+        }
         break;
       } catch (const std::exception& e) {
         error = e.what();
@@ -236,7 +388,9 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
       // Every cell-level throw carries its full grid coordinates: a failure
       // in a million-cell sweep names exactly what died and under what.
       std::string context = "sweep cell " + std::to_string(cell) + " (workload '" + *wl.name +
-                            "', config '" + configs[ci].name + "') failed";
+                            "'";
+      if (fabric_axis) context += ", fabric '" + fabs[fi] + "'";
+      context += ", config '" + configs[ci].name + "') failed";
       if (opts.retries > 0)
         context += " after " + std::to_string(opts.retries + 1) + " attempts";
       context += ": " + error;
@@ -281,7 +435,7 @@ std::vector<SweepResult> SweepRunner::run(const std::vector<Workload>& workloads
     CELLO_CHECK_MSG(w.dag != nullptr, "sweep workload '" << w.name << "' has no DAG");
     views.push_back({&w.name, w.dag.get(), w.matrix.get()});
   }
-  return run_grid(threads_, views, configs, arch, nullptr, options);
+  return run_grid(threads_, views, configs, arch, nullptr, nullptr, options);
 }
 
 std::vector<SweepResult> SweepRunner::run(const std::vector<Workload>& workloads,
@@ -323,10 +477,11 @@ std::vector<SweepResult> SweepRunner::run_shard(const SweepGrid& grid, const Sha
   // rows keep null views; run_grid never dereferences a row no cell selects,
   // and their names come from the grid's canonical spec strings (identical
   // to the resolved names by construction).
+  const size_t row_cells = grid.fabrics.size() * grid.configs.size();
   std::vector<char> needed(grid.workloads.size(), 0);
   for (const size_t cell : plan.cells)
-    if (!grid.configs.empty() && cell / grid.configs.size() < grid.workloads.size())
-      needed[cell / grid.configs.size()] = 1;
+    if (row_cells != 0 && cell / row_cells < grid.workloads.size())
+      needed[cell / row_cells] = 1;
   std::vector<Workload> workloads(grid.workloads.size());
   for (size_t wi = 0; wi < grid.workloads.size(); ++wi)
     if (needed[wi]) workloads[wi] = WorkloadRegistry::global().resolve(grid.workloads[wi]);
@@ -336,7 +491,8 @@ std::vector<SweepResult> SweepRunner::run_shard(const SweepGrid& grid, const Sha
   for (size_t wi = 0; wi < grid.workloads.size(); ++wi)
     views.push_back(
         {&grid.workloads[wi], workloads[wi].dag.get(), workloads[wi].matrix.get()});
-  return run_grid(threads_, views, configs, grid.arch, &plan.cells, options, &grid, &plan);
+  return run_grid(threads_, views, configs, grid.arch, &grid.fabrics, &plan.cells, options,
+                  &grid, &plan);
 }
 
 std::vector<SweepResult> SweepRunner::run(const std::vector<SweepWorkload>& workloads,

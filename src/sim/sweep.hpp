@@ -45,6 +45,10 @@ struct SweepWorkload {
 struct SweepResult {
   std::string workload;
   std::string config;
+  /// Canonical fabric spec ("1", "mesh:2x2", ...) when the grid carries a
+  /// fabric axis (SweepGrid::fabrics beyond the single-chip default); empty
+  /// on classic two-axis grids, keeping their serialized form unchanged.
+  std::string fabric;
   RunMetrics metrics;
   std::string error;  ///< empty = success
 
