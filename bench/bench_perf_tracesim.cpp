@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <sstream>
 
 #include "bench_util.hpp"
 #include "noc/topology.hpp"
@@ -16,6 +17,7 @@
 #include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "trace/trace.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/resnet.hpp"
 
@@ -72,6 +74,33 @@ void BM_ResnetFlexBrrip(benchmark::State& s) {
 }
 void BM_CgCello(benchmark::State& s) {
   run_config(s, cg_dag(), &shallow_water_matrix(), "Cello");
+}
+
+// ---- trace overhead row -----------------------------------------------------
+// The BM_CgCello cell narrated into an in-memory ChromeTraceWriter every
+// iteration: the delta against BM_CgCello is the full cost of op-level
+// tracing (per-step capture + event formatting + streaming serialization),
+// and the trace_events / trace_bytes counters record the trace volume in the
+// BENCH_tracesim.json trajectory so serialization changes stay visible.
+void BM_TraceOverhead(benchmark::State& state) {
+  const auto arch =
+      bench::table5_config(1e12, static_cast<Bytes>(state.range(0)) * 1024 * 1024);
+  const sim::Simulator simulator(arch, &shallow_water_matrix());
+  const sim::Configuration& config = sim::ConfigRegistry::global().at("Cello");
+  u64 events = 0, bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    trace::ChromeTraceWriter writer(out);
+    sim::RunArtifacts art;
+    art.trace = &writer;
+    const sim::RunMetrics m = simulator.run(cg_dag(), config, art);
+    writer.finish();
+    events = writer.events();
+    bytes = out.str().size();
+    benchmark::DoNotOptimize(m.dram_bytes);
+  }
+  state.counters["trace_events"] = benchmark::Counter(static_cast<double>(events));
+  state.counters["trace_bytes"] = benchmark::Counter(static_cast<double>(bytes));
 }
 
 // ---- sweep-level rows -------------------------------------------------------
@@ -206,10 +235,12 @@ void BM_ReuseIndexShared(benchmark::State& state) {
     Bytes dram_bytes = 0;
     for (size_t ci = 0; ci < sweep_config_names().size(); ++ci) {
       const sim::Configuration& config = registry.at(sweep_config_names()[ci]);
-      dram_bytes += simulator
-                        .run(*wl.dag, config, scheds[slot_of[ci]], map, indexes[slot_of[ci]],
-                             &scratch)
-                        .dram_bytes;
+      sim::RunArtifacts art;
+      art.schedule = &scheds[slot_of[ci]];
+      art.address_map = &map;
+      art.reuse_index = &indexes[slot_of[ci]];
+      art.scratch = &scratch;
+      dram_bytes += simulator.run(*wl.dag, config, art).dram_bytes;
     }
     benchmark::DoNotOptimize(dram_bytes);
   }
@@ -301,6 +332,7 @@ BENCHMARK(BM_CgFlexBrrip)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond
 BENCHMARK(BM_ResnetFlexLru)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ResnetFlexBrrip)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CgCello)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceOverhead)->Arg(4)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepCgAnalyticShared)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepCgAnalyticRebuild)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SweepSharded)->Unit(benchmark::kMillisecond);

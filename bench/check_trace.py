@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file written by cello's ChromeTraceWriter.
+
+    bench/check_trace.py TRACE.json [--min-events N]
+
+Checks the properties Perfetto / chrome://tracing rely on, plus the repo's own
+determinism contract:
+
+  * the document is one JSON object with a "traceEvents" array;
+  * every event is an object carrying name / ph / ts / pid / tid;
+  * phases are limited to the set the simulator emits (M metadata, X complete
+    span, C counter);
+  * X spans have a non-negative dur and ts;
+  * counter samples are non-decreasing in time per (pid, tid, name) series;
+  * every (pid, tid) that carries events was declared via process_name /
+    thread_name metadata;
+  * at least --min-events events are present (default 10, so an empty-but-
+    well-formed file cannot pass a smoke test vacuously).
+
+Exit 0 on success (printing a one-line summary), 1 on any violation, 2 on an
+unreadable/unparseable input — a CI step must never pass on half a file.
+"""
+import argparse
+import json
+import sys
+
+
+def die(code, msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--min-events", type=int, default=10,
+                        help="fail when fewer events are present (default 10)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(2, f"cannot read '{args.trace}': {e}")
+    except json.JSONDecodeError as e:
+        die(2, f"'{args.trace}' is not valid JSON (truncated trace?): {e}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        die(1, "top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+
+    named_tracks = set()  # (pid, tid) declared via thread_name metadata
+    named_pids = set()    # pid declared via process_name metadata
+    used_tracks = set()
+    counter_clock = {}    # (pid, tid, name) -> last ts
+    phases = {"M": 0, "X": 0, "C": 0}
+
+    for i, e in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(e, dict):
+            die(1, f"{where}: not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                die(1, f"{where}: missing '{key}'")
+        ph = e["ph"]
+        if ph not in phases:
+            die(1, f"{where}: unexpected phase {ph!r} (simulator emits M/X/C)")
+        phases[ph] += 1
+        pid, tid = e["pid"], e["tid"]
+
+        if ph == "M":
+            if e["name"] == "process_name":
+                named_pids.add(pid)
+            elif e["name"] == "thread_name":
+                named_tracks.add((pid, tid))
+            else:
+                die(1, f"{where}: unexpected metadata {e['name']!r}")
+            continue
+
+        used_tracks.add((pid, tid))
+        ts = e["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            die(1, f"{where}: ts {ts!r} is not a non-negative number")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                die(1, f"{where}: X span dur {dur!r} is not a non-negative number")
+        else:  # C
+            series = (pid, tid, e["name"])
+            if series in counter_clock and ts < counter_clock[series]:
+                die(1, f"{where}: counter series {e['name']!r} went backwards "
+                       f"({counter_clock[series]} -> {ts})")
+            counter_clock[series] = ts
+
+    for pid, tid in sorted(used_tracks):
+        if (pid, tid) not in named_tracks:
+            die(1, f"track (pid={pid}, tid={tid}) carries events but was never "
+                   f"named via thread_name metadata")
+        if pid not in named_pids:
+            die(1, f"pid {pid} carries events but was never named via "
+                   f"process_name metadata")
+
+    if len(events) < args.min_events:
+        die(1, f"only {len(events)} events (< --min-events {args.min_events})")
+
+    print(f"ok: {len(events)} events "
+          f"({phases['X']} spans, {phases['C']} counters, {phases['M']} metadata) "
+          f"across {len(used_tracks)} tracks")
+
+
+if __name__ == "__main__":
+    main()

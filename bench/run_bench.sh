@@ -91,6 +91,11 @@ for b in medians:
     # from steady-state replay cost.
     if "setup_ms" in b:
         entry["setup_ms"] = round(b["setup_ms"], 4)
+    # Trace rows also record their event/byte volume, so the trajectory
+    # catches a serialization change that balloons trace output.
+    for k in ("trace_events", "trace_bytes"):
+        if k in b:
+            entry[k] = int(b[k])
     if name in baseline:
         entry["baseline_ms"] = baseline[name]
         entry["speedup"] = round(baseline[name] / b["real_time"], 2)

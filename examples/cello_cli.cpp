@@ -8,12 +8,19 @@
 //   ./example_cello_cli run       [--workload <spec>]... [--config <name>|all]
 //                                 [--bw <GB/s>] [--sram <MiB>]
 //                                 [--nodes <n>] [--topology mesh|torus:RxC|ring|crossbar]
+//                                 [--trace out.json]  (op-level Perfetto trace;
+//                                  needs one --workload and a named --config)
 //   ./example_cello_cli sweep     [--workload <spec>]... [--jobs <n>]
 //                                 [--nodes <n>[,<n>...]] [--topology <kind>[,<kind>...]]
 //                                 [--shard <i>/<k>] [--shard-mode contiguous|strided]
 //                                 [--out results.json|results.csv]
 //                                 [--checkpoint <journal>] [--resume]
 //                                 [--keep-going] [--retries <n>]
+//                                 [--trace out.json --trace-cell W,C|W,F,C]
+//                                 (trace exactly one grid cell, by 0-based
+//                                  workload/fabric/config indices, to a
+//                                  Perfetto-loadable trace_event file —
+//                                  byte-identical to tracing a direct run)
 //                                 (all registered configs, parallel SweepRunner;
 //                                  one immutable DAG/schedule per workload row;
 //                                  --shard runs one deterministic slice of the
@@ -57,6 +64,7 @@
 #include "score/dependency.hpp"
 #include "sim/report.hpp"
 #include "sparse/datasets.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -82,6 +90,8 @@ struct Options {
   bool resume = false;                    ///< sweep: continue from the journal
   bool keep_going = false;                ///< sweep: quarantine failing cells
   u32 retries = 0;                        ///< sweep: extra attempts per failing cell
+  std::optional<std::string> trace;       ///< run/sweep: Chrome trace_event output path
+  std::optional<std::string> trace_cell;  ///< sweep: "W,C" or "W,F,C" cell to trace
   std::vector<std::string> positional;  ///< merge: <out.json> <shard.json>...
 };
 
@@ -110,6 +120,8 @@ Options parse(int argc, char** argv) {
     else if (auto v12 = next("--out")) o.out = *v12;
     else if (auto v13 = next("--checkpoint")) o.checkpoint = *v13;
     else if (auto v14 = next("--retries")) o.retries = static_cast<u32>(std::stoul(*v14));
+    else if (auto v15 = next("--trace")) o.trace = *v15;
+    else if (auto v16 = next("--trace-cell")) o.trace_cell = *v16;
     else if (std::strcmp(argv[i], "--resume") == 0) o.resume = true;
     else if (std::strcmp(argv[i], "--keep-going") == 0) o.keep_going = true;
     else if (argv[i][0] == '-')
@@ -135,6 +147,20 @@ Options parse(int argc, char** argv) {
     throw Error("--topology needs --nodes to know how many chips to lay out");
   if (o.resume && !o.checkpoint)
     throw Error("--resume needs --checkpoint <journal> to know what to resume from");
+  if (o.trace && o.command != "run" && o.command != "simulate" && o.command != "sweep")
+    throw Error("--trace applies only to the run and sweep commands");
+  if (o.trace_cell && o.command != "sweep")
+    throw Error("--trace-cell applies only to the sweep command");
+  if (o.trace_cell && !o.trace)
+    throw Error("--trace-cell needs --trace <out.json> for the events to land in");
+  if (o.command == "sweep" && o.trace && !o.trace_cell)
+    throw Error("sweep --trace needs --trace-cell to pick the one traced cell");
+  if (o.trace && o.command != "sweep") {
+    if (o.workloads.size() > 1)
+      throw Error("--trace records one run: pass exactly one --workload");
+    if (o.config == "all")
+      throw Error("--trace records one run: pick a single --config (not 'all')");
+  }
   if (o.command == "merge" &&
       (!o.workloads.empty() || o.dataset || o.mtx || o.n || o.iters || o.bw_gbps ||
        o.sram_mib || o.config != "all" || o.jobs != 0))
@@ -247,6 +273,33 @@ std::vector<std::string> fabric_specs(const Options& o) {
     }
   }
   return fabs;
+}
+
+/// "--trace-cell W,C" — or "W,F,C" when the grid has a fabric axis — with
+/// 0-based workload/fabric/configuration indices; returns the flattened
+/// row-major cell id.  Out-of-range indices are rejected here, with the axis
+/// extents, instead of surfacing as an anonymous grid-bounds error later.
+size_t parse_trace_cell(const std::string& text, const sim::SweepGrid& grid) {
+  const std::vector<std::string> parts = split_csv(text);
+  if (parts.size() != 2 && parts.size() != 3)
+    throw Error("--trace-cell expects W,C or W,F,C (0-based indices), got '" + text + "'");
+  std::vector<size_t> idx;
+  for (const auto& part : parts) {
+    if (part.empty() || part.find_first_not_of("0123456789") != std::string::npos)
+      throw Error("--trace-cell expects numeric indices, got '" + text + "'");
+    idx.push_back(static_cast<size_t>(std::stoull(part)));
+  }
+  if (parts.size() == 2 && grid.has_fabric_axis())
+    throw Error("this sweep has a fabric axis: --trace-cell needs W,F,C");
+  const size_t wi = idx[0];
+  const size_t fi = parts.size() == 3 ? idx[1] : 0;
+  const size_t ci = parts.size() == 3 ? idx[2] : idx[1];
+  if (wi >= grid.workloads.size() || fi >= grid.fabrics.size() || ci >= grid.configs.size())
+    throw Error("--trace-cell " + text + " outside the grid (" +
+                std::to_string(grid.workloads.size()) + " workloads x " +
+                std::to_string(grid.fabrics.size()) + " fabrics x " +
+                std::to_string(grid.configs.size()) + " configs)");
+  return (wi * grid.fabrics.size() + fi) * grid.configs.size() + ci;
 }
 
 /// "--shard i/k" with 1-based i in [1, k]; plan_shard re-validates the range.
@@ -376,8 +429,26 @@ int run_cli(int argc, char** argv) {
       sweep_options.retries = o.retries;
       sweep_options.checkpoint = o.checkpoint.value_or("");
       sweep_options.resume = o.resume;
+      std::ofstream trace_stream;
+      std::optional<trace::ChromeTraceWriter> tracer;
+      if (o.trace) {
+        const size_t cell = parse_trace_cell(*o.trace_cell, grid);
+        if (std::find(plan.cells.begin(), plan.cells.end(), cell) == plan.cells.end())
+          throw Error("--trace-cell " + *o.trace_cell + " (cell " + std::to_string(cell) +
+                      ") is not in this shard's slice");
+        trace_stream.open(*o.trace, std::ios::binary);
+        if (!trace_stream) throw Error("cannot write '" + *o.trace + "'");
+        tracer.emplace(trace_stream);
+        sweep_options.trace_cell = static_cast<i64>(cell);
+        sweep_options.trace_sink = &*tracer;
+      }
       const sim::SweepRunner runner(o.jobs);
       auto cells = runner.run_shard(grid, plan, sweep_options);
+      if (tracer) {
+        tracer->finish();
+        if (!trace_stream.flush()) throw Error("failed writing '" + *o.trace + "'");
+        std::cout << "wrote trace " << *o.trace << " (" << tracer->events() << " events)\n";
+      }
       size_t failed = 0;
       for (const auto& cell : cells)
         if (!cell.ok()) ++failed;
@@ -464,7 +535,7 @@ int run_cli(int argc, char** argv) {
       for (const sim::Workload& wl : workloads) {
         print_workload(wl);
         const sim::Simulator simulator(arch, wl.matrix.get());
-        const auto m = simulator.run(*wl.dag, "Cello");
+        const auto m = simulator.run(*wl.dag, sim::ConfigRegistry::global().at("Cello"));
         std::cout << "Cello per-op breakdown:\n" << sim::per_op_report(m, arch) << "\n";
         std::cout << "Traffic by tensor:\n" << sim::per_tensor_report(m);
       }
@@ -486,11 +557,25 @@ int run_cli(int argc, char** argv) {
         continue;
       }
       const sim::Simulator simulator(arch, wl.matrix.get());
-      const auto m = simulator.run(*wl.dag, *config);
+      sim::RunArtifacts artifacts;
+      std::ofstream trace_stream;
+      std::optional<trace::ChromeTraceWriter> tracer;
+      if (o.trace) {
+        trace_stream.open(*o.trace, std::ios::binary);
+        if (!trace_stream) throw Error("cannot write '" + *o.trace + "'");
+        tracer.emplace(trace_stream);
+        artifacts.trace = &*tracer;
+      }
+      const auto m = simulator.run(*wl.dag, *config, artifacts);
       std::cout << config->name << " (" << config->describe() << "): "
                 << format_double(m.gmacs_per_sec(), 1) << " GMACs/s, "
                 << format_bytes(static_cast<double>(m.dram_bytes)) << " DRAM, "
                 << format_double(m.seconds * 1e6, 1) << " us\n";
+      if (tracer) {
+        tracer->finish();
+        if (!trace_stream.flush()) throw Error("failed writing '" + *o.trace + "'");
+        std::cout << "wrote trace " << *o.trace << " (" << tracer->events() << " events)\n";
+      }
     }
     return 0;
   }

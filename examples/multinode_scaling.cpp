@@ -11,6 +11,7 @@
 #include "noc/mesh.hpp"
 #include "noc/topology.hpp"
 #include "sim/partition.hpp"
+#include "sim/registry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workload_registry.hpp"
 
@@ -49,7 +50,8 @@ int main(int argc, char** argv) {
   const sim::Workload wl = sim::WorkloadRegistry::global().resolve("gnn:cora");
   sim::AcceleratorConfig arch;
   const sim::Simulator single(arch, wl.matrix.get());
-  const double base = single.run(*wl.dag, "Cello").seconds;
+  const sim::Configuration& cello = sim::ConfigRegistry::global().at("Cello");
+  const double base = single.run(*wl.dag, cello).seconds;
   std::cout << "gnn:cora under the Cello preset, routed NoC fold (1 node: "
             << format_double(base * 1e6, 1) << " us):\n";
   TextTable rt({"fabric", "time", "NoC byte-hops", "naive bytes", "max-link util",
@@ -61,7 +63,7 @@ int main(int argc, char** argv) {
       multi.nodes = nodes;
       multi.topology = spec.to_string();
       const sim::Simulator simulator(multi, wl.matrix.get());
-      const sim::RunMetrics mm = simulator.run(*wl.dag, "Cello");
+      const sim::RunMetrics mm = simulator.run(*wl.dag, cello);
       rt.add_row({spec.to_string(), format_double(mm.seconds * 1e6, 1) + " us",
                   format_bytes(static_cast<double>(mm.noc_bytes)),
                   format_bytes(static_cast<double>(mm.naive_noc_bytes)),

@@ -255,6 +255,16 @@ void SetAssocCache::flush() {
   std::fill(mru_way_.begin(), mru_way_.end(), 0u);
 }
 
+u64 SetAssocCache::valid_lines() const {
+  u64 n = 0;
+  if (fast8_) {
+    for (const u32 tag : tags32_) n += tag != kInvalidTag32;
+  } else {
+    for (const u64 tag : tags_) n += tag != kInvalidTag;
+  }
+  return n;
+}
+
 bool SetAssocCache::contains_line(u64 line) const {
   const u64 tag = tag_of_line(line);
   const u64 set = set_of_line(line);

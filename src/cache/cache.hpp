@@ -110,6 +110,10 @@ class SetAssocCache {
 
   bool contains(Addr addr) const { return contains_line(line_of(addr)); }
   bool contains_line(u64 line) const;
+  /// Lines currently holding valid data — an on-demand tag-lane scan, meant
+  /// for occupancy observability (BufferPolicy::occupancy_bytes), not the
+  /// replay hot path.  Keeps the fill paths untouched.
+  u64 valid_lines() const;
   const CacheStats& stats() const { return stats_; }
 
   u32 line_bytes() const { return line_bytes_; }

@@ -6,7 +6,7 @@ namespace cello {
 
 sim::RunMetrics run(const ir::TensorDag& dag, sim::ConfigKind kind,
                     const sim::AcceleratorConfig& arch, const sparse::CsrMatrix* matrix) {
-  return sim::Simulator(arch, matrix).run(dag, kind);
+  return sim::Simulator(arch, matrix).run(dag, sim::ConfigRegistry::preset(kind));
 }
 
 sim::RunMetrics run(const ir::TensorDag& dag, const sim::Configuration& config,

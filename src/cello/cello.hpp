@@ -11,12 +11,12 @@
 //   cello::sim::Simulator simulator(arch, cg.matrix.get());
 //   auto& registry = cello::sim::ConfigRegistry::global();
 //   auto cello_m = simulator.run(*cg.dag, registry.at("Cello"));
-//   auto novel_m = simulator.run(*cg.dag, "SCORE+LRU");  // inexpressible under the old enum
+//   auto novel_m = simulator.run(*cg.dag, registry.at("SCORE+LRU"));  // novel combo
 //
 //   // Transformer decode: append-only KV-cache chains in the DAG, priced by
 //   // the KV-aware buffer (see sim/policies/kv_cache_policy.hpp).
 //   auto llm = workloads.resolve("llm:d_model=512,seq=2048,decode_steps=8,layers=2");
-//   auto kv_m = cello::sim::Simulator(arch).run(*llm.dag, "Flex+KV");
+//   auto kv_m = cello::sim::Simulator(arch).run(*llm.dag, registry.at("Flex+KV"));
 //
 //   // Custom pairing: any SchedulePolicy x BufferPolicy combination.
 //   auto mine = cello::sim::make_configuration(
@@ -42,21 +42,43 @@
 //   auto cells = sweep.run({"cg", "gnn:cora", "spmv", "sddmm:heads=4"},
 //                          registry.names(), arch);
 //
-//   // Drivers doing their own cell loops can share the same immutable
-//   // artifacts explicitly (bit-identical to the one-shot run above):
+//   // Drivers doing their own cell loops share the same immutable artifacts
+//   // through one sim::RunArtifacts bundle (bit-identical to the one-shot
+//   // run above).  This bundle IS the run API: every optional input —
+//   // prebuilt schedule/map/reuse/router tables, pooled scratch, trace sink —
+//   // rides in it, and run(dag, config) is just the empty-bundle default.
 //   auto sched = simulator.make_schedule(*cg.dag, registry.at("Cello"));
 //   auto map   = cello::sim::AddressMap::build(*cg.dag);
 //   auto reuse = cello::score::ReuseIndex::build(*cg.dag, sched, map.base_of,
 //                                                map.entries.size());
 //   cello::sim::RunScratch scratch;  // pooled per-run state, reset per run
-//   auto fast_m = simulator.run(*cg.dag, registry.at("Cello"), sched, map,
-//                               reuse, &scratch);
+//   cello::sim::RunArtifacts art;
+//   art.schedule = &sched; art.address_map = &map;
+//   art.reuse_index = &reuse; art.scratch = &scratch;
+//   auto fast_m = simulator.run(*cg.dag, registry.at("Cello"), art);
+//
+//   // Op-level observability: arm a trace sink and the same run writes a
+//   // Perfetto-loadable Chrome trace_event file (simulated timestamps, fully
+//   // deterministic; see trace/trace.hpp and the README's Observability
+//   // section).  `cello_cli run --trace out.json` is this in flag form.
+//   std::ofstream out("trace.json", std::ios::binary);
+//   cello::trace::ChromeTraceWriter writer(out);
+//   cello::sim::RunArtifacts traced;
+//   traced.trace = &writer;
+//   simulator.run(*cg.dag, registry.at("Cello"), traced);
 //
 //   std::cout << cello::compare_table(*cg.dag, arch);    // the seven Table IV rows
 //
 // Workload DAGs can still be built directly (build_cg_dag & friends); the
 // ConfigKind enum and cello::run/run_all/compare_table below are thin shims
 // over the registries, kept for the paper-reproduction benches.
+//
+// Migration (PR 9): Simulator::run now has exactly one real signature,
+// run(dag, config, artifacts = {}).  The old overloads — run(dag, name),
+// run(dag, kind), run(dag, config, sched, map[, reuse, scratch]) — still
+// compile as [[deprecated]] shims over the bundle; resolve names through
+// ConfigRegistry::global().at(...) / ::preset(kind) and move prebuilt inputs
+// into RunArtifacts fields.
 #pragma once
 
 #include <string>
@@ -81,6 +103,7 @@
 #include "sim/workload_registry.hpp"
 #include "sim/workload_spec.hpp"
 #include "sparse/csr.hpp"
+#include "trace/trace.hpp"
 #include "workloads/bicgstab.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/gnn.hpp"

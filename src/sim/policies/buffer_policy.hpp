@@ -87,6 +87,13 @@ class BufferPolicy {
   // ---- trace-driven interface (op granularity) -----------------------------
   virtual BufferService service_op(const OpTrace&) { return {}; }
 
+  /// Bytes of on-chip buffer capacity currently holding live data: pinned /
+  /// resident tensor bytes for the analytic policies, valid lines x line size
+  /// for the trace-driven caches.  Pure observability (the trace subsystem
+  /// samples it per step into a counter track) — implementations must not
+  /// perturb policy state.  Streaming policies that retain nothing report 0.
+  virtual Bytes occupancy_bytes() const { return 0; }
+
   /// Drain still-resident state (dirty lines, resident result prefixes) at
   /// the end of the run.  nullopt = no drain stage for this policy.
   virtual std::optional<std::vector<DrainItem>> drain(const DrainContext&) {

@@ -40,6 +40,10 @@ class CachePolicy final : public BufferPolicy {
   /// End-of-run flush of dirty lines.
   std::optional<std::vector<DrainItem>> drain(const DrainContext& ctx) override;
 
+  Bytes occupancy_bytes() const override {
+    return static_cast<Bytes>(cache_.valid_lines()) * cache_.line_bytes();
+  }
+
   void finalize(const AcceleratorConfig& arch, u64 pipeline_sram_lines,
                 RunMetrics& m) const override;
 

@@ -25,6 +25,8 @@ class ChordPolicy final : public BufferPolicy {
 
   std::optional<std::vector<DrainItem>> drain(const DrainContext& ctx) override;
 
+  Bytes occupancy_bytes() const override { return buf_.occupied_bytes(); }
+
   void finalize(const AcceleratorConfig& arch, u64 pipeline_sram_lines,
                 RunMetrics& m) const override;
 

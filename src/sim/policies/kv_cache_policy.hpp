@@ -54,6 +54,8 @@ class KvCachePolicy final : public BufferPolicy {
 
   std::optional<std::vector<DrainItem>> drain(const DrainContext& ctx) override;
 
+  Bytes occupancy_bytes() const override { return resident_total_; }
+
   void finalize(const AcceleratorConfig& arch, u64 pipeline_sram_lines,
                 RunMetrics& m) const override;
 

@@ -33,11 +33,35 @@ enum class Route {
   Discard,         ///< dead output SCORE proves is never needed again
 };
 
+/// Immutable per-tensor routing tables: the pipelining and (hold-budget
+/// demoted) residency vectors the Router consults per operand access.  They
+/// depend only on (dag, schedule, policy, allow_delayed_hold, arch) — the
+/// same inputs the sweep's schedule cache keys by — so one build can serve
+/// every run sharing those inputs read-only (see
+/// sim::RunArtifacts::router_tables); SweepRunner prebuilds one per slot next
+/// to Schedule/ReuseIndex instead of rebuilding them per cell.
+struct RouterTables {
+  std::vector<bool> pipelined;  ///< per TensorId: every consumer serviced on chip
+  /// Per TensorId, after demoting pipeline-buffer residents that cannot
+  /// actually stay (hold budget, unrealized edge) to the buffer hierarchy.
+  std::vector<score::Residency> residency;
+
+  static RouterTables build(const ir::TensorDag& dag, const score::Schedule& sched,
+                            SchedulePolicy policy, bool allow_delayed_hold,
+                            const AcceleratorConfig& arch);
+};
+
 /// Per-run routing oracle: binds a SchedulePolicy to one DAG + schedule.
 class Router {
  public:
+  /// Build private tables for this run.
   Router(const ir::TensorDag& dag, const score::Schedule& sched, SchedulePolicy policy,
          bool allow_delayed_hold, const AcceleratorConfig& arch);
+  /// Borrow shared immutable tables; `tables` must equal RouterTables::build
+  /// of the same (dag, sched, policy, hold flag, arch) inputs and outlive the
+  /// Router.  Routing decisions are bit-identical to the building constructor.
+  Router(const ir::TensorDag& dag, const score::Schedule& sched, SchedulePolicy policy,
+         const RouterTables& tables);
 
   Route route_input(const ir::EinsumOp& op, ir::TensorId in) const;
   Route route_output(const ir::EinsumOp& op) const;
@@ -48,14 +72,14 @@ class Router {
   bool pipelines() const { return policy_ != SchedulePolicy::OpByOp; }
 
   /// Tensors serviced entirely by the pipeline buffer (tensor-level view).
-  const std::vector<bool>& pipelined() const { return piped_; }
+  const std::vector<bool>& pipelined() const { return tables_->pipelined; }
 
  private:
   const ir::TensorDag& dag_;
   const score::Schedule& sched_;
   SchedulePolicy policy_;
-  std::vector<bool> piped_;              ///< per TensorId
-  std::vector<score::Residency> res_;    ///< per TensorId, after hold-budget demotion
+  RouterTables own_;            ///< populated only by the building constructor
+  const RouterTables* tables_;  ///< &own_, or the borrowed shared copy
 };
 
 }  // namespace cello::sim

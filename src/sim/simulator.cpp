@@ -9,6 +9,7 @@
 #include "sim/partition.hpp"
 #include "sim/policies/schedule_policy.hpp"
 #include "sim/registry.hpp"
+#include "trace/trace.hpp"
 
 namespace cello::sim {
 
@@ -16,7 +17,82 @@ namespace {
 
 using score::Schedule;
 
+// Track layout of a traced run: one pid, fixed tid lanes.
+constexpr i32 kTracePid = 0;
+constexpr i32 kScheduleTid = 0;  ///< per-step compute spans
+constexpr i32 kDramTid = 1;      ///< per-group DRAM spans + end-of-run drain
+constexpr i32 kBufferTid = 2;    ///< buffer-occupancy counter samples
+constexpr i32 kNocTid = 3;       ///< multi-node collective spans
+
+/// Per-step observations collected (only when a sink is armed) during the
+/// loop and replayed into events once the group times are final — a group's
+/// duration is max(compute, dram) and is only known when the group closes.
+struct TraceStep {
+  i32 group = 0;
+  Bytes dram = 0;       ///< DRAM bytes this step moved
+  Bytes occupancy = 0;  ///< policy occupancy after the step retired its inputs
+};
+
+/// Serialize one single-chip run: per-step compute spans laid back-to-back
+/// inside their pipeline group on the schedule track, one aggregated DRAM
+/// span per group (the model prices DRAM per group, not per op), occupancy
+/// counter samples at each step's compute end, and the end-of-run drain.
+void emit_run_trace(trace::TraceSink& sink, const ir::TensorDag& dag, const Schedule& sched,
+                    const AcceleratorConfig& arch, const std::vector<TraceStep>& steps,
+                    const std::vector<double>& group_compute,
+                    const std::vector<double>& group_dram, bool drained, Bytes drained_bytes,
+                    Bytes final_occupancy) {
+  sink.track(kTracePid, kScheduleTid, "cello-sim", "schedule");
+  sink.track(kTracePid, kDramTid, "cello-sim", "dram");
+  sink.track(kTracePid, kBufferTid, "cello-sim", "buffer");
+
+  // Groups serialize; within a group compute and DRAM overlap, so group g
+  // starts at the sum of max(compute, dram) over the groups before it.
+  std::vector<double> gstart(group_compute.size() + 1, 0.0);
+  for (size_t g = 0; g < group_compute.size(); ++g)
+    gstart[g + 1] = gstart[g] + std::max(group_compute[g], group_dram[g]);
+
+  std::vector<Bytes> gbytes(group_compute.size(), 0);
+  i32 cur = -1;
+  double cursor = 0;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const TraceStep& ts = steps[i];
+    if (ts.group != cur) {
+      cur = ts.group;
+      cursor = gstart[cur];
+    }
+    gbytes[cur] += ts.dram;
+    const ir::EinsumOp& op = dag.op(sched.steps[i].op);
+    const double dur = arch.compute_seconds(op.macs());
+    sink.span(kTracePid, kScheduleTid, op.name, cursor, dur,
+              {trace::arg("step", static_cast<u64>(i)), trace::arg("group", i64{cur}),
+               trace::arg("macs", op.macs()), trace::arg("dram_bytes", ts.dram)});
+    cursor += dur;
+    sink.counter(kTracePid, kBufferTid, "buffer_occupancy", cursor, ts.occupancy);
+  }
+
+  // The drain, when present, is the one trailing group without steps.
+  const size_t run_groups = group_compute.size() - (drained ? 1 : 0);
+  for (size_t g = 0; g < run_groups; ++g)
+    if (group_dram[g] > 0)
+      sink.span(kTracePid, kDramTid, "dram", gstart[g], group_dram[g],
+                {trace::arg("group", static_cast<u64>(g)), trace::arg("bytes", gbytes[g])});
+  if (drained)
+    sink.span(kTracePid, kDramTid, "drain", gstart[run_groups], group_dram[run_groups],
+              {trace::arg("bytes", drained_bytes)});
+  sink.counter(kTracePid, kBufferTid, "buffer_occupancy", gstart[group_compute.size()],
+               final_occupancy);
+}
+
 }  // namespace
+
+void trace_collectives(trace::TraceSink& sink, const RunMetrics& folded,
+                       double per_node_seconds) {
+  sink.track(kTracePid, kNocTid, "cello-sim", "noc");
+  sink.span(kTracePid, kNocTid, "collectives", per_node_seconds, folded.noc_seconds,
+            {trace::arg("nodes", folded.nodes), trace::arg("noc_bytes", folded.noc_bytes),
+             trace::arg("max_link_utilization", folded.max_link_utilization)});
+}
 
 // Out-of-line so the header can hold BufferPolicy by forward declaration.
 RunScratch::RunScratch() = default;
@@ -46,15 +122,8 @@ score::Schedule Simulator::make_schedule(const ir::TensorDag& dag,
   return score::build_schedule(dag, schedule_options(config));
 }
 
-RunMetrics Simulator::run(const ir::TensorDag& dag, const std::string& config_name) const {
-  return run(dag, ConfigRegistry::global().at(config_name));
-}
-
-RunMetrics Simulator::run(const ir::TensorDag& dag, ConfigKind kind) const {
-  return run(dag, ConfigRegistry::preset(kind));
-}
-
-RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config) const {
+RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
+                          const RunArtifacts& artifacts) const {
   const AcceleratorConfig arch = effective_arch(config);
   if (arch.nodes > 1) {
     // Multi-chip path (Sec. V-B): shard the dominant rank, run one node's
@@ -62,6 +131,10 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
     // and the 1-node baseline into whole-system metrics.  Any sparse-matrix
     // context describes the full workload; the shard run keeps it as an
     // approximation of one node's slice of the sparsity structure.
+    CELLO_CHECK_MSG(artifacts.schedule == nullptr && artifacts.address_map == nullptr &&
+                        artifacts.reuse_index == nullptr && artifacts.router_tables == nullptr,
+                    "prebuilt artifacts describe one DAG and are single-chip; multi-node runs "
+                    "build per-node shard artifacts themselves");
     const noc::Topology topo =
         noc::Topology::build(noc::resolve_topology(arch.topology, arch.nodes));
     const Partition part = build_partition(dag, arch.nodes);
@@ -71,36 +144,89 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config)
     inner.nodes.reset();
     inner.topology.reset();
     const Simulator node_sim(single, matrix_);
-    const RunMetrics per_node = node_sim.run(part.shard, inner);
-    const RunMetrics baseline = node_sim.run(dag, inner);
-    return fold_multinode(per_node, baseline.seconds, part, topo, arch);
+    // The node's shard run carries the trace; the 1-node baseline stays
+    // untraced (its only contribution is the parallel-efficiency scalar).
+    RunArtifacts shard_artifacts;
+    shard_artifacts.scratch = artifacts.scratch;
+    shard_artifacts.trace = artifacts.trace;
+    const RunMetrics per_node = node_sim.run(part.shard, inner, shard_artifacts);
+    const RunMetrics baseline = node_sim.run(dag, inner, RunArtifacts{});
+    RunMetrics folded = fold_multinode(per_node, baseline.seconds, part, topo, arch);
+    if (artifacts.trace != nullptr) trace_collectives(*artifacts.trace, folded, per_node.seconds);
+    return folded;
   }
-  const Schedule sched = make_schedule(dag, config);
-  const AddressMap map = AddressMap::build(dag);
-  return run(dag, config, sched, map);
+  CELLO_CHECK_MSG((artifacts.schedule == nullptr) == (artifacts.address_map == nullptr),
+                  "RunArtifacts::schedule and ::address_map travel together: both or neither");
+  CELLO_CHECK_MSG(artifacts.schedule != nullptr ||
+                      (artifacts.reuse_index == nullptr && artifacts.router_tables == nullptr),
+                  "a prebuilt reuse index / router tables need their schedule alongside");
+  if (artifacts.schedule == nullptr) {
+    const Schedule sched = make_schedule(dag, config);
+    const AddressMap map = AddressMap::build(dag);
+    const score::ReuseIndex reuse =
+        score::ReuseIndex::build(dag, sched, map.base_of, map.entries.size());
+    return run_impl(dag, config, arch, sched, map, reuse, nullptr, artifacts.scratch,
+                    artifacts.trace);
+  }
+  if (artifacts.reuse_index == nullptr) {
+    const score::ReuseIndex reuse = score::ReuseIndex::build(
+        dag, *artifacts.schedule, artifacts.address_map->base_of,
+        artifacts.address_map->entries.size());
+    return run_impl(dag, config, arch, *artifacts.schedule, *artifacts.address_map, reuse,
+                    artifacts.router_tables, artifacts.scratch, artifacts.trace);
+  }
+  return run_impl(dag, config, arch, *artifacts.schedule, *artifacts.address_map,
+                  *artifacts.reuse_index, artifacts.router_tables, artifacts.scratch,
+                  artifacts.trace);
 }
 
+// ---- deprecated shims (call through to the RunArtifacts signature) ---------
 RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
                           const Schedule& sched, const AddressMap& map) const {
-  const score::ReuseIndex reuse =
-      score::ReuseIndex::build(dag, sched, map.base_of, map.entries.size());
-  return run(dag, config, sched, map, reuse, nullptr);
+  RunArtifacts artifacts;
+  artifacts.schedule = &sched;
+  artifacts.address_map = &map;
+  return run(dag, config, artifacts);
 }
 
 RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
                           const Schedule& sched, const AddressMap& map,
-                          const score::ReuseIndex& reuse_index, RunScratch* scratch) const {
+                          const score::ReuseIndex& reuse, RunScratch* scratch) const {
+  RunArtifacts artifacts;
+  artifacts.schedule = &sched;
+  artifacts.address_map = &map;
+  artifacts.reuse_index = &reuse;
+  artifacts.scratch = scratch;
+  return run(dag, config, artifacts);
+}
+
+RunMetrics Simulator::run(const ir::TensorDag& dag, const std::string& config_name) const {
+  return run(dag, ConfigRegistry::global().at(config_name), RunArtifacts{});
+}
+
+RunMetrics Simulator::run(const ir::TensorDag& dag, ConfigKind kind) const {
+  return run(dag, ConfigRegistry::preset(kind), RunArtifacts{});
+}
+
+RunMetrics Simulator::run_impl(const ir::TensorDag& dag, const Configuration& config,
+                               const AcceleratorConfig& arch, const Schedule& sched,
+                               const AddressMap& map, const score::ReuseIndex& reuse_index,
+                               const RouterTables* tables, RunScratch* scratch,
+                               trace::TraceSink* sink) const {
   CELLO_CHECK_MSG(static_cast<bool>(config.buffers),
                   "configuration '" << config.name << "' has no buffer policy factory");
   CELLO_CHECK_MSG(reuse_index.num_bases() == map.entries.size(),
                   "reuse index covers " << reuse_index.num_bases() << " bases, address map "
                                         << map.entries.size()
                                         << " — artifacts from different workloads?");
-  const AcceleratorConfig arch = effective_arch(config);
-  CELLO_CHECK_MSG(arch.nodes <= 1,
-                  "prebuilt-artifact runs are single-chip; multi-node runs go through "
-                  "Simulator::run(dag, config) or the sweep fabric axis");
-  const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
+  CELLO_CHECK_MSG(tables == nullptr || tables->pipelined.size() == dag.tensors().size(),
+                  "router tables cover " << (tables ? tables->pipelined.size() : 0)
+                                         << " tensors, DAG has " << dag.tensors().size()
+                                         << " — artifacts from a different workload?");
+  const Router router =
+      tables != nullptr
+          ? Router(dag, sched, config.schedule, *tables)
+          : Router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
   const size_t n_bases = map.entries.size();
 
   // All per-run mutable state lives in a RunScratch; without a caller-owned
@@ -192,6 +318,11 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
   retire_bases.reserve(8);
 
   u64 pipeline_sram_lines = 0;  ///< pipeline-buffer staging accesses
+
+  // Armed only when a sink is present: per-step observations for the trace,
+  // replayed into events after the loop once group durations are final.
+  std::vector<TraceStep> tsteps;
+  if (sink != nullptr) tsteps.reserve(sched.steps.size());
 
   // Hoisted per-step trace descriptor: only the op fields change per step,
   // so the operand list's storage is reused across the whole run.
@@ -312,9 +443,12 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
         policy->retire(base);
 
     group_dram[cur_group] += arch.dram_seconds(op_dram);
+    if (sink != nullptr) tsteps.push_back({cur_group, op_dram, policy->occupancy_bytes()});
   }
 
   // ---- end-of-run drain (resident result prefixes / dirty cache lines) ----
+  bool did_drain = false;
+  Bytes drained_bytes = 0;
   {
     DrainContext ctx;
     ctx.dag = &dag;
@@ -332,6 +466,8 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
       }
       group_compute.push_back(0);
       group_dram.push_back(arch.dram_seconds(drained));
+      did_drain = true;
+      drained_bytes = drained;
     }
   }
 
@@ -348,6 +484,9 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
   policy->finalize(arch, pipeline_sram_lines, metrics);
   metrics.offchip_energy_pj =
       static_cast<double>(metrics.dram_bytes) * arch.dram_energy_pj_per_byte;
+  if (sink != nullptr)
+    emit_run_trace(*sink, dag, sched, arch, tsteps, group_compute, group_dram, did_drain,
+                   drained_bytes, policy->occupancy_bytes());
   return metrics;
 }
 

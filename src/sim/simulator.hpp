@@ -3,7 +3,6 @@
 //
 //   sim::Simulator simulator(arch, &matrix);
 //   auto cello = simulator.run(dag, sim::ConfigRegistry::global().at("Cello"));
-//   auto novel = simulator.run(dag, "SCORE+LRU");   // registry lookup
 //
 // One unified loop serves every configuration: the Router (schedule policy)
 // decides where each operand access is serviced and the BufferPolicy models
@@ -11,6 +10,15 @@
 // granularity per scheduled op; trace-driven cache policies replay a
 // line-granularity access trace.  run() is const and reentrant — a fresh
 // BufferPolicy is built per run — which is what SweepRunner exploits.
+//
+// Every optional per-run input travels in one RunArtifacts bundle (shared
+// immutable schedule/address-map/reuse-index/router-tables, a pooled
+// RunScratch, a trace sink), so run() has exactly one real signature:
+//
+//   sim::RunArtifacts art;
+//   art.schedule = &sched; art.address_map = &map;   // prebuilt, shared
+//   art.trace = &writer;                             // op-level Perfetto trace
+//   auto m = simulator.run(dag, config, art);
 #pragma once
 
 #include <map>
@@ -27,9 +35,14 @@
 #include "sim/metrics.hpp"
 #include "sparse/csr.hpp"
 
+namespace cello::trace {
+class TraceSink;
+}  // namespace cello::trace
+
 namespace cello::sim {
 
 class BufferPolicy;
+struct RouterTables;  // sim/policies/schedule_policy.hpp
 
 /// Reusable per-run state: the simulator's per-base scratch vectors, the
 /// reuse cursors, and a pool of reset-instead-of-reconstructed BufferPolicy
@@ -72,32 +85,58 @@ class RunScratch {
   std::map<std::string, PooledPolicy> policies_;
 };
 
+/// Every optional per-run input to Simulator::run, in one bundle — adding a
+/// cross-cutting input (a scratch, a trace sink, ...) extends this struct
+/// instead of multiplying overloads.  All pointers are borrowed and may be
+/// null; a default-constructed RunArtifacts reproduces the classic
+/// build-everything-fresh run.
+struct RunArtifacts {
+  /// Precomputed schedule; must equal make_schedule(dag, config).  Travels
+  /// with address_map: both or neither.  Read-only here, so one immutable
+  /// copy serves many concurrent runs — SweepRunner builds one per
+  /// (workload, schedule-options) slot instead of one per cell.
+  const score::Schedule* schedule = nullptr;
+  /// AddressMap::build(dag); required exactly when `schedule` is set.
+  const AddressMap* address_map = nullptr;
+  /// score::ReuseIndex::build(dag, *schedule, map.base_of, map.entries
+  /// .size()); optional — derived from schedule + address_map when null.
+  const score::ReuseIndex* reuse_index = nullptr;
+  /// RouterTables::build(dag, *schedule, config.schedule,
+  /// config.allow_delayed_hold, effective_arch(config)); optional — the
+  /// Router builds private tables when null.
+  const RouterTables* router_tables = nullptr;
+  /// Reusable per-run mutable state: vectors and pooled buffer policies are
+  /// reset — not reallocated — for this run.  Bit-identical to running
+  /// without one.
+  RunScratch* scratch = nullptr;
+  /// Op-level trace sink (see trace/trace.hpp); null = no tracing, at the
+  /// cost of one pointer test per scheduled step.  Traced runs return the
+  /// exact metrics of untraced ones.
+  trace::TraceSink* trace = nullptr;
+};
+
 class Simulator {
  public:
   explicit Simulator(AcceleratorConfig arch, const sparse::CsrMatrix* matrix = nullptr)
       : arch_(arch), matrix_(matrix) {}
 
-  /// Evaluate one configuration.
-  RunMetrics run(const ir::TensorDag& dag, const Configuration& config) const;
-  /// Evaluate with a precomputed, shared schedule + address map.  `sched`
-  /// must equal make_schedule(dag, config) and `map` AddressMap::build(dag);
-  /// both are read-only here, so one immutable copy can serve many
-  /// concurrent runs — SweepRunner builds them once per (workload,
-  /// schedule-policy) pair instead of once per sweep cell.
+  /// Evaluate one configuration.  THE run signature: every optional input
+  /// (shared immutable setup, pooled scratch, trace sink) rides in
+  /// `artifacts`; the default bundle builds everything fresh.
+  RunMetrics run(const ir::TensorDag& dag, const Configuration& config,
+                 const RunArtifacts& artifacts = {}) const;
+
+  // ---- legacy entry points (deprecated shims over RunArtifacts) ------------
+  [[deprecated("pass RunArtifacts{.schedule = &sched, .address_map = &map} instead")]]
   RunMetrics run(const ir::TensorDag& dag, const Configuration& config,
                  const score::Schedule& sched, const AddressMap& map) const;
-  /// Fully shared setup: additionally takes the immutable ReuseIndex
-  /// (score::ReuseIndex::build(dag, sched, map.base_of, map.entries.size()))
-  /// and, optionally, a RunScratch whose vectors and pooled policies are
-  /// reset — not reallocated — for this run.  Bit-identical to the overloads
-  /// above; this is the per-cell fast path SweepRunner drives.
+  [[deprecated("pass RunArtifacts{.schedule, .address_map, .reuse_index, .scratch} instead")]]
   RunMetrics run(const ir::TensorDag& dag, const Configuration& config,
                  const score::Schedule& sched, const AddressMap& map,
                  const score::ReuseIndex& reuse, RunScratch* scratch = nullptr) const;
-  /// Convenience: resolve `config_name` in the global ConfigRegistry (throws
-  /// cello::Error for unknown names).
+  [[deprecated("resolve the name via ConfigRegistry::global().at(config_name)")]]
   RunMetrics run(const ir::TensorDag& dag, const std::string& config_name) const;
-  /// Legacy Table IV enum entry point.
+  [[deprecated("resolve the kind via ConfigRegistry::preset(kind)")]]
   RunMetrics run(const ir::TensorDag& dag, ConfigKind kind) const;
 
   /// The schedule the configuration's schedule policy would build.
@@ -116,8 +155,23 @@ class Simulator {
   const sparse::CsrMatrix* matrix() const { return matrix_; }
 
  private:
+  /// The unified single-chip loop; every public run() lands here with the
+  /// artifacts fully resolved.
+  RunMetrics run_impl(const ir::TensorDag& dag, const Configuration& config,
+                      const AcceleratorConfig& arch, const score::Schedule& sched,
+                      const AddressMap& map, const score::ReuseIndex& reuse_index,
+                      const RouterTables* tables, RunScratch* scratch,
+                      trace::TraceSink* sink) const;
+
   AcceleratorConfig arch_;
   const sparse::CsrMatrix* matrix_;
 };
+
+/// Emit the NoC collective span of a folded multi-node run onto `sink`'s noc
+/// track: the routed collectives occupy [per_node_seconds, per_node_seconds +
+/// folded.noc_seconds).  Shared by the direct multi-node path and a traced
+/// sweep cell (which folds NoC cost itself), so their traces agree.
+void trace_collectives(trace::TraceSink& sink, const RunMetrics& folded,
+                       double per_node_seconds);
 
 }  // namespace cello::sim

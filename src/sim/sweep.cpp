@@ -17,6 +17,7 @@
 #include "score/schedule.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/partition.hpp"
+#include "sim/policies/schedule_policy.hpp"
 #include "sim/registry.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulator.hpp"
@@ -116,6 +117,11 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     for (const size_t cell : *cells)
       CELLO_CHECK_MSG(cell < grid_size,
                       "shard cell " << cell << " outside the " << grid_size << "-cell grid");
+  CELLO_CHECK_MSG((opts.trace_cell >= 0) == (opts.trace_sink != nullptr),
+                  "SweepOptions::trace_cell and ::trace_sink travel together: both or neither");
+  CELLO_CHECK_MSG(opts.trace_cell < 0 || static_cast<size_t>(opts.trace_cell) < grid_size,
+                  "trace cell " << opts.trace_cell << " outside the " << grid_size
+                                << "-cell grid");
 
   // Parse each fabric once; nodes > 1 fabrics carry the routed topology the
   // fold prices collectives against.
@@ -169,6 +175,27 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     const auto it = std::find(opt_keys.begin(), opt_keys.end(), opts);
     config_slot[ci] = static_cast<size_t>(it - opt_keys.begin());
     if (it == opt_keys.end()) opt_keys.push_back(opts);
+  }
+
+  // Router tables key on everything RouterTables::build consumes beyond the
+  // DAG: the schedule slot plus the policy / hold-flag / effective-arch
+  // triple.  Configurations sharing a schedule slot (FLAT vs Cello) can still
+  // need distinct tables, so this is a finer partition than config_slot.
+  struct RouterKey {
+    size_t sched_slot;
+    SchedulePolicy policy;
+    bool allow_delayed_hold;
+    AcceleratorConfig arch;
+    bool operator==(const RouterKey&) const = default;
+  };
+  std::vector<RouterKey> router_keys;  ///< distinct keys, first-seen order
+  std::vector<size_t> config_rslot(configs.size());
+  for (size_t ci = 0; ci < configs.size(); ++ci) {
+    const RouterKey key{config_slot[ci], configs[ci].schedule, configs[ci].allow_delayed_hold,
+                        scheduler.effective_arch(configs[ci])};
+    const auto it = std::find(router_keys.begin(), router_keys.end(), key);
+    config_rslot[ci] = static_cast<size_t>(it - router_keys.begin());
+    if (it == router_keys.end()) router_keys.push_back(key);
   }
 
   // ---- fabric rows ----
@@ -251,6 +278,9 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
   // and the same read-only-across-the-pool lifetime.
   std::vector<std::vector<std::optional<score::ReuseIndex>>> reuse(
       unique_dag.size(), std::vector<std::optional<score::ReuseIndex>>(opt_keys.size()));
+  // Shared immutable router tables, one per (DAG, router key).
+  std::vector<std::vector<std::optional<RouterTables>>> rtables(
+      unique_dag.size(), std::vector<std::optional<RouterTables>>(router_keys.size()));
 
   // A cell-restricted (shard) run prebuilds only what its *pending* cells
   // touch — checkpoint-recovered cells need no schedule — while a full run
@@ -259,6 +289,8 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
   std::vector<char> map_needed(unique_dag.size(), all_needed);
   std::vector<std::vector<char>> sched_needed(unique_dag.size(),
                                               std::vector<char>(opt_keys.size(), all_needed));
+  std::vector<std::vector<char>> rtable_needed(
+      unique_dag.size(), std::vector<char>(router_keys.size(), all_needed));
   if (cells != nullptr) {
     for (size_t j = 0; j < cells->size(); ++j) {
       if (done[j]) continue;
@@ -267,13 +299,16 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
       if (rows[rf].dag == nullptr) continue;  // unresolved row or failed partition
       const size_t di = dag_slot[rf];
       const size_t ki = config_slot[cell % C];
+      const size_t ri = config_rslot[cell % C];
       map_needed[di] = 1;
       sched_needed[di][ki] = 1;
+      rtable_needed[di][ri] = 1;
       if (rows[rf].part != nullptr) {
         // Multi-node cells also replay the full DAG once for the baseline.
         const size_t bdi = wl_dag_slot[rf / F];
         map_needed[bdi] = 1;
         sched_needed[bdi][ki] = 1;
+        rtable_needed[bdi][ri] = 1;
       }
     }
   }
@@ -300,18 +335,36 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     }
   });
 
-  // Second prebuild wave: reuse indexes need both the schedule and the
-  // address map of their slot, so they build once those exist.
-  std::vector<PrebuildJob> reuse_jobs;
-  reuse_jobs.reserve(jobs.size());
-  for (const auto& [dag, di] : unique_dag)
+  // Second prebuild wave: reuse indexes and router tables both derive from a
+  // built schedule (reuse also needs the address map), so they build once
+  // those exist.  `router` distinguishes the two job kinds; `slot` indexes
+  // opt_keys for reuse jobs and router_keys for table jobs.
+  struct DerivedJob {
+    const ir::TensorDag* dag;
+    size_t di;
+    size_t slot;
+    bool router;
+  };
+  std::vector<DerivedJob> derived_jobs;
+  derived_jobs.reserve(unique_dag.size() * (opt_keys.size() + router_keys.size()));
+  for (const auto& [dag, di] : unique_dag) {
     for (size_t k = 0; k < opt_keys.size(); ++k)
-      if (sched_needed[di][k]) reuse_jobs.push_back({dag, di, static_cast<i32>(k)});
-  parallel_for(threads, reuse_jobs.size(), [&](size_t j, u32 /*worker*/) {
-    const PrebuildJob& job = reuse_jobs[j];
-    reuse[job.di][job.slot].emplace(
-        score::ReuseIndex::build(*job.dag, *scheds[job.di][job.slot],
-                                 maps[job.di]->base_of, maps[job.di]->entries.size()));
+      if (sched_needed[di][k]) derived_jobs.push_back({dag, di, k, false});
+    for (size_t r = 0; r < router_keys.size(); ++r)
+      if (rtable_needed[di][r]) derived_jobs.push_back({dag, di, r, true});
+  }
+  parallel_for(threads, derived_jobs.size(), [&](size_t j, u32 /*worker*/) {
+    const DerivedJob& job = derived_jobs[j];
+    if (job.router) {
+      const RouterKey& key = router_keys[job.slot];
+      rtables[job.di][job.slot].emplace(RouterTables::build(
+          *job.dag, *scheds[job.di][key.sched_slot], key.policy, key.allow_delayed_hold,
+          key.arch));
+    } else {
+      reuse[job.di][job.slot].emplace(
+          score::ReuseIndex::build(*job.dag, *scheds[job.di][job.slot],
+                                   maps[job.di]->base_of, maps[job.di]->entries.size()));
+    }
   });
 
   // ---- the grid ----
@@ -339,16 +392,19 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     Baseline& base = baselines.find(bkeys[j])->second;
     try {
       const Simulator simulator(arch, workloads[wi].matrix);
-      base.seconds = simulator
-                         .run(*workloads[wi].dag, configs[ci], *scheds[di][ki], *maps[di],
-                              *reuse[di][ki], &scratches[worker])
-                         .seconds;
+      RunArtifacts art;
+      art.schedule = &*scheds[di][ki];
+      art.address_map = &*maps[di];
+      art.reuse_index = &*reuse[di][ki];
+      art.router_tables = &*rtables[di][config_rslot[ci]];
+      art.scratch = &scratches[worker];
+      base.seconds = simulator.run(*workloads[wi].dag, configs[ci], art).seconds;
     } catch (const std::exception& e) {
       base.error = e.what();
     }
   });
 
-  parallel_for(threads, total, [&](size_t job, u32 worker) {
+  auto run_cell = [&](size_t job, u32 worker) {
     if (done[job]) return;  // recovered from the checkpoint journal
     const size_t cell = cells != nullptr ? (*cells)[job] : job;
     const size_t rf = cell / C;
@@ -359,6 +415,8 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     const WorkloadView& wl = workloads[wi];
     SweepResult result{*wl.name, configs[ci].name, {}, {}, {}};
     if (fabric_axis) result.fabric = fabs[fi];
+    const bool traced =
+        opts.trace_sink != nullptr && opts.trace_cell == static_cast<i64>(cell);
     // Deterministic bounded retries: attempts run back-to-back on the same
     // worker, so the final outcome is independent of thread scheduling.
     std::string error;
@@ -368,16 +426,24 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
         failpoint::maybe_throw("sweep.cell", std::to_string(cell));
         if (!row.error.empty()) throw Error(row.error);
         const Simulator simulator(arch, wl.matrix);
-        result.metrics =
-            simulator.run(*row.dag, configs[ci], *scheds[dag_slot[rf]][config_slot[ci]],
-                          *maps[dag_slot[rf]], *reuse[dag_slot[rf]][config_slot[ci]],
-                          &scratches[worker]);
+        RunArtifacts art;
+        art.schedule = &*scheds[dag_slot[rf]][config_slot[ci]];
+        art.address_map = &*maps[dag_slot[rf]];
+        art.reuse_index = &*reuse[dag_slot[rf]][config_slot[ci]];
+        art.router_tables = &*rtables[dag_slot[rf]][config_rslot[ci]];
+        art.scratch = &scratches[worker];
+        if (traced) art.trace = opts.trace_sink;
+        result.metrics = simulator.run(*row.dag, configs[ci], art);
         if (row.part != nullptr) {
           const Baseline& base = baselines.at({wi, ci});
           if (!base.error.empty())
             throw Error("1-node baseline failed: " + base.error);
+          // Captured before the fold so a traced cell places its collective
+          // span where the direct multi-node run would.
+          const double per_node_seconds = result.metrics.seconds;
           result.metrics = fold_multinode(result.metrics, base.seconds, *row.part,
                                           *finfo[fi].topo, arch);
+          if (traced) trace_collectives(*opts.trace_sink, result.metrics, per_node_seconds);
         }
         break;
       } catch (const std::exception& e) {
@@ -403,6 +469,36 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     // Only successes are journaled: a quarantined failure stays pending, so a
     // later resume (possibly with the fault fixed) re-runs it.
     if (journal.active() && completed) journal.append(cell, out[job]);
+  };
+
+  // ---- worker-affine tiling ----
+  // Jobs are claimed in configuration-major run-length chunks instead of one
+  // by one: a worker executing a chunk runs the same configuration repeatedly,
+  // so its scratch's pooled buffer policy is reset — not rebuilt — between
+  // consecutive cells.  Each configuration run splits into at most
+  // worker_count pieces to keep the pool load-balanced.  Results are written
+  // by job index and each cell's simulation is untouched, so output order and
+  // bits match the one-job-at-a-time claiming at any thread count.
+  const u32 nworkers = worker_count(threads, total);
+  std::vector<size_t> order(total);
+  for (size_t j = 0; j < total; ++j) order[j] = j;
+  auto config_of = [&](size_t job) { return (cells != nullptr ? (*cells)[job] : job) % C; };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return config_of(a) < config_of(b); });
+  struct Chunk {
+    size_t begin, end;  ///< half-open range into `order`
+  };
+  std::vector<Chunk> chunks;
+  for (size_t s = 0; s < total;) {
+    size_t e = s;
+    while (e < total && config_of(order[e]) == config_of(order[s])) ++e;
+    const size_t pieces = std::min<size_t>(nworkers, e - s);
+    const size_t step = (e - s + pieces - 1) / pieces;
+    for (size_t p = s; p < e; p += step) chunks.push_back({p, std::min(p + step, e)});
+    s = e;
+  }
+  parallel_for(threads, chunks.size(), [&](size_t cj, u32 worker) {
+    for (size_t k = chunks[cj].begin; k < chunks[cj].end; ++k) run_cell(order[k], worker);
   });
   return out;
 }

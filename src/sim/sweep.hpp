@@ -7,12 +7,16 @@
 // or as resolved sim::Workload handles; each spec's DAG is built once per
 // sweep and shared immutably across its row.  Per (workload, schedule-policy)
 // pair the runner also builds one immutable score::Schedule + AddressMap +
-// score::ReuseIndex and shares them read-only across the pool —
-// configurations differing only in their buffer policy reuse the same
-// schedule and reuse table instead of rebuilding them per cell.  Mutable
-// per-run state lives in one RunScratch per pool worker (reuse cursors,
-// attribution scratch, pooled reset-between-cells buffer policies); workers
-// never share it, and every cell stays bit-identical to a fresh serial run.
+// score::ReuseIndex — plus one sim::RouterTables per distinct routing key —
+// and shares them read-only across the pool: configurations differing only in
+// their buffer policy reuse the same schedule, reuse table and routing tables
+// instead of rebuilding them per cell.  Mutable per-run state lives in one
+// RunScratch per pool worker (reuse cursors, attribution scratch, pooled
+// reset-between-cells buffer policies); workers never share it.  Cells are
+// handed out in configuration-major run-length chunks (worker-affine tiling),
+// so consecutive cells on one worker usually share a pooled policy and reset
+// it instead of rebuilding — results still land in row-major order and every
+// cell stays bit-identical to a fresh serial run at any thread count.
 #pragma once
 
 #include <string>
@@ -24,6 +28,10 @@
 #include "sim/metrics.hpp"
 #include "sim/workload_registry.hpp"
 #include "sparse/csr.hpp"
+
+namespace cello::trace {
+class TraceSink;
+}  // namespace cello::trace
 
 namespace cello::sim {
 
@@ -55,9 +63,9 @@ struct SweepResult {
   bool ok() const { return error.empty(); }
 };
 
-/// Fault-tolerance knobs for a sweep (see sim/checkpoint.hpp for the journal
-/// format).  Defaults reproduce the historical behavior: no journal, abort on
-/// the first failing cell, no retries.
+/// Fault-tolerance and observability knobs for a sweep (see sim/checkpoint.hpp
+/// for the journal format).  Defaults reproduce the historical behavior: no
+/// journal, abort on the first failing cell, no retries, no tracing.
 struct SweepOptions {
   /// Quarantine failing cells as error records instead of aborting the sweep;
   /// every other cell completes bit-identically to a clean run.
@@ -73,6 +81,14 @@ struct SweepOptions {
   /// truncating any torn tail) instead of refusing to touch it.  A missing
   /// journal file simply starts fresh, so retry loops can always pass this.
   bool resume = false;
+  /// Flattened row-major grid cell to trace, or -1 for none.  Requires
+  /// trace_sink; exactly one cell writes to it, so the sweep stays
+  /// deterministic, and its events equal a direct Simulator::run of the same
+  /// workload/fabric/configuration with the same sink.  A checkpoint-recovered
+  /// traced cell is skipped like any other and emits nothing.
+  i64 trace_cell = -1;
+  /// Sink the traced cell writes to (borrowed; must outlive the sweep).
+  trace::TraceSink* trace_sink = nullptr;
 };
 
 class SweepRunner {

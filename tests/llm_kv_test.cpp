@@ -69,7 +69,7 @@ TEST(LlmDag, Seq0PrefillOnlyAndGqa) {
     if (t.append_only && t.append_prev == ir::kInvalidTensor) {
       EXPECT_EQ(t.bytes(), 0u);
     }
-  const auto m = Simulator(AcceleratorConfig{}).run(dag, "Cello");
+  const auto m = Simulator(AcceleratorConfig{}).run(dag, ConfigRegistry::global().at("Cello"));
   EXPECT_GT(m.total_macs, 0);
   EXPECT_GT(m.seconds, 0.0);
 
@@ -193,7 +193,8 @@ TEST(LlmDecode, PerStepKvGrowthVisibleInMetrics) {
   // scheduled append/attention ops get strictly costlier step over step —
   // the per-step KV growth the IR annotation carries into RunMetrics.
   const auto wl = sim::WorkloadRegistry::global().resolve("llm:layers=1,seq=512");
-  const auto m = Simulator(AcceleratorConfig{}).run(*wl.dag, "Flexagon");
+  const auto m =
+      Simulator(AcceleratorConfig{}).run(*wl.dag, ConfigRegistry::global().at("Flexagon"));
   Bytes early = 0, late = 0;
   for (const auto& op : m.per_op) {
     if (op.op == "attn_1@0") early = op.dram_bytes;
@@ -210,7 +211,7 @@ TEST(LlmDecode, DecodePastSramBudgetSpills) {
       sim::WorkloadRegistry::global().resolve("llm:d_model=512,seq=2048,decode_steps=8,layers=2");
   AcceleratorConfig small;
   small.sram_bytes = 1 << 20;
-  const auto m = Simulator(small).run(*wl.dag, "Flex+KV");
+  const auto m = Simulator(small).run(*wl.dag, ConfigRegistry::global().at("Flex+KV"));
   Bytes kv_write = 0;
   for (const auto& [base, bytes] : m.traffic_by_tensor)
     if (base.starts_with("K_") || base.starts_with("V_")) kv_write += bytes;
@@ -224,9 +225,10 @@ TEST(LlmDecode, KvCacheBeatsLruOnDocumentedConfig) {
       sim::WorkloadRegistry::global().resolve("llm:d_model=512,seq=2048,decode_steps=8,layers=2");
   const AcceleratorConfig arch;
   const Simulator simulator(arch);
-  const auto kv = simulator.run(*wl.dag, "Flex+KV");
-  const auto lru = simulator.run(*wl.dag, "Flex+LRU");
-  const auto explicit_buf = simulator.run(*wl.dag, "Flexagon");
+  const auto& registry = ConfigRegistry::global();
+  const auto kv = simulator.run(*wl.dag, registry.at("Flex+KV"));
+  const auto lru = simulator.run(*wl.dag, registry.at("Flex+LRU"));
+  const auto explicit_buf = simulator.run(*wl.dag, registry.at("Flexagon"));
   EXPECT_LT(kv.dram_bytes, lru.dram_bytes);
   EXPECT_LT(kv.dram_bytes, explicit_buf.dram_bytes);
 }

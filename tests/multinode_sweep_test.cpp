@@ -86,7 +86,8 @@ TEST(MultinodeSweep, SweepCellsMatchDirectSimulatorBitForBit) {
     arch.nodes = spec.nodes();
     arch.topology = spec.to_string();
     const sim::Simulator simulator(arch, wl.matrix.get());
-    const sim::RunMetrics direct = simulator.run(*wl.dag, cell.config);
+    const sim::RunMetrics direct =
+        simulator.run(*wl.dag, sim::ConfigRegistry::global().at(cell.config));
     const std::string ctx = cell.fabric + "/" + cell.config;
     EXPECT_EQ(dbits(direct.seconds), dbits(cell.metrics.seconds)) << ctx;
     EXPECT_EQ(direct.nodes, cell.metrics.nodes) << ctx;

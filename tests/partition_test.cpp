@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "sim/partition.hpp"
+#include "sim/registry.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/cg.hpp"
 #include "workloads/gnn.hpp"
@@ -207,8 +208,9 @@ TEST(FoldMultinode, ScalesCountersAndAddsNocTerms) {
   const noc::Topology topo = noc::Topology::build(noc::TopologySpec::parse("mesh:2x2"));
   sim::AcceleratorConfig arch;
   const sim::Simulator single(arch);
-  const sim::RunMetrics base = single.run(dag, "Cello");
-  const sim::RunMetrics per_node = single.run(part.shard, "Cello");
+  const sim::Configuration& cello = sim::ConfigRegistry::global().at("Cello");
+  const sim::RunMetrics base = single.run(dag, cello);
+  const sim::RunMetrics per_node = single.run(part.shard, cello);
   const sim::RunMetrics mm = sim::fold_multinode(per_node, base.seconds, part, topo, arch);
   EXPECT_EQ(mm.nodes, 4);
   EXPECT_EQ(mm.total_macs, per_node.total_macs * 4);
@@ -223,7 +225,7 @@ TEST(FoldMultinode, ScalesCountersAndAddsNocTerms) {
   sim::AcceleratorConfig multi = arch;
   multi.nodes = 4;
   multi.topology = "mesh:2x2";
-  const sim::RunMetrics direct = sim::Simulator(multi).run(dag, "Cello");
+  const sim::RunMetrics direct = sim::Simulator(multi).run(dag, cello);
   EXPECT_EQ(direct.nodes, mm.nodes);
   EXPECT_EQ(direct.noc_bytes, mm.noc_bytes);
   EXPECT_EQ(direct.dram_bytes, mm.dram_bytes);

@@ -120,7 +120,7 @@ TEST(Registry, PresetParityHoldsWithRealMatrixTrace) {
   const Simulator simulator(arch, &matrix);
   for (ConfigKind kind : {ConfigKind::FlexLru, ConfigKind::FlexBrrip, ConfigKind::Cello}) {
     const auto legacy = sim::simulate(dag, kind, arch, &matrix);
-    const auto composed = simulator.run(dag, std::string(sim::to_string(kind)));
+    const auto composed = simulator.run(dag, ConfigRegistry::global().at(sim::to_string(kind)));
     expect_bit_identical(legacy, composed, sim::to_string(kind));
   }
 }
@@ -132,8 +132,8 @@ TEST(NovelCombos, ScoreWithLruRunsEndToEnd) {
   const auto dag = workloads::build_gnn_dag({2708, 9464, 1433, 7});
   const AcceleratorConfig arch;
   const Simulator simulator(arch);
-  const auto score_lru = simulator.run(dag, "SCORE+LRU");
-  const auto flex_lru = simulator.run(dag, ConfigKind::FlexLru);
+  const auto score_lru = simulator.run(dag, ConfigRegistry::global().at("SCORE+LRU"));
+  const auto flex_lru = simulator.run(dag, ConfigRegistry::preset(ConfigKind::FlexLru));
   EXPECT_GT(score_lru.total_macs, 0);
   EXPECT_GT(score_lru.seconds, 0.0);
   EXPECT_GT(score_lru.dram_bytes, 0u);
@@ -147,8 +147,8 @@ TEST(NovelCombos, FlatWithChordRunsEndToEnd) {
   const auto dag = workloads::build_cg_dag({81920, 16, 327680, 5, 4});
   const AcceleratorConfig arch;
   const Simulator simulator(arch);
-  const auto flat_chord = simulator.run(dag, "FLAT+CHORD");
-  const auto flexagon = simulator.run(dag, ConfigKind::Flexagon);
+  const auto flat_chord = simulator.run(dag, ConfigRegistry::global().at("FLAT+CHORD"));
+  const auto flexagon = simulator.run(dag, ConfigRegistry::preset(ConfigKind::Flexagon));
   EXPECT_GT(flat_chord.dram_bytes, 0u);
   EXPECT_LT(flat_chord.dram_bytes, flexagon.dram_bytes);
   EXPECT_EQ(flat_chord.dram_bytes, flat_chord.dram_read_bytes + flat_chord.dram_write_bytes);
@@ -180,7 +180,7 @@ TEST(ConfigurationKnobs, PipelineStyleOverrideChangesTimingOnly) {
   sequential.name = "Cello-SP";
   sequential.pipeline_style = sim::PipelineStyle::Sequential;
   const Simulator simulator(arch);
-  const auto pp = simulator.run(dag, ConfigKind::Cello);
+  const auto pp = simulator.run(dag, ConfigRegistry::preset(ConfigKind::Cello));
   const auto sp = simulator.run(dag, sequential);
   EXPECT_EQ(pp.dram_bytes, sp.dram_bytes);
   EXPECT_LT(pp.seconds, sp.seconds);
@@ -193,22 +193,20 @@ TEST(ConfigurationKnobs, HoldBudgetOverrideDemotesHolds) {
   tight.name = "Cello-tight-hold";
   tight.hold_budget_bytes = 64 * 1024;  // cannot hold the 784 KiB skip tensor
   const Simulator simulator(arch);
-  const auto roomy_m = simulator.run(dag, ConfigKind::Cello);
+  const auto roomy_m = simulator.run(dag, ConfigRegistry::preset(ConfigKind::Cello));
   const auto tight_m = simulator.run(dag, tight);
   EXPECT_GT(tight_m.dram_bytes, 0u);
   EXPECT_LE(roomy_m.dram_bytes, tight_m.dram_bytes);
   // The override must behave exactly like setting the knob on the arch.
   AcceleratorConfig tight_arch = arch;
   tight_arch.hold_budget_bytes = 64 * 1024;
-  const auto via_arch = Simulator(tight_arch).run(dag, ConfigKind::Cello);
+  const auto via_arch = Simulator(tight_arch).run(dag, ConfigRegistry::preset(ConfigKind::Cello));
   EXPECT_EQ(tight_m.dram_bytes, via_arch.dram_bytes);
   EXPECT_EQ(tight_m.seconds, via_arch.seconds);
 }
 
 TEST(Simulator, UnknownNameThrowsWithListing) {
-  const auto dag = workloads::build_gnn_dag({500, 2500, 32, 8});
-  const Simulator simulator((AcceleratorConfig()));
-  EXPECT_THROW(simulator.run(dag, "definitely-not-registered"), Error);
+  EXPECT_THROW(ConfigRegistry::global().at("definitely-not-registered"), Error);
 }
 
 }  // namespace

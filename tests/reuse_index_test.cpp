@@ -77,8 +77,12 @@ TEST(ReuseIndex, SharedIndexAndScratchBitIdenticalAcrossPresets) {
           score::ReuseIndex::build(*wl.dag, sched, map.base_of, map.entries.size());
 
       const sim::RunMetrics fresh = simulator.run(*wl.dag, config);
-      const sim::RunMetrics shared =
-          simulator.run(*wl.dag, config, sched, map, index, &scratch);
+      sim::RunArtifacts art;
+      art.schedule = &sched;
+      art.address_map = &map;
+      art.reuse_index = &index;
+      art.scratch = &scratch;
+      const sim::RunMetrics shared = simulator.run(*wl.dag, config, art);
       expect_same_metrics(fresh, shared, wl.name + "/" + name);
     }
   }
@@ -99,8 +103,13 @@ TEST(ReuseIndex, ScratchResetIsCompleteBetweenRuns) {
     const score::Schedule sched = simulator.make_schedule(*wl.dag, config);
     const score::ReuseIndex index =
         score::ReuseIndex::build(*wl.dag, sched, map.base_of, map.entries.size());
-    const sim::RunMetrics first = simulator.run(*wl.dag, config, sched, map, index, &scratch);
-    const sim::RunMetrics again = simulator.run(*wl.dag, config, sched, map, index, &scratch);
+    sim::RunArtifacts art;
+    art.schedule = &sched;
+    art.address_map = &map;
+    art.reuse_index = &index;
+    art.scratch = &scratch;
+    const sim::RunMetrics first = simulator.run(*wl.dag, config, art);
+    const sim::RunMetrics again = simulator.run(*wl.dag, config, art);
     expect_same_metrics(first, again, "repeat/" + name);
   }
 }

@@ -81,7 +81,8 @@ TEST(Sweep, SharedMatrixContextIsSafeAcrossThreads) {
   const std::vector<std::string> config_names = {"Flex+LRU", "Flex+BRRIP", "Cello"};
   const auto cells = SweepRunner(/*threads=*/3).run(w, config_names, arch);
   for (size_t ci = 0; ci < config_names.size(); ++ci) {
-    const auto reference = Simulator(arch, &matrix).run(w[0].dag, config_names[ci]);
+    const auto reference =
+        Simulator(arch, &matrix).run(w[0].dag, ConfigRegistry::global().at(config_names[ci]));
     EXPECT_EQ(cells[ci].metrics.dram_bytes, reference.dram_bytes) << config_names[ci];
     EXPECT_EQ(cells[ci].metrics.seconds, reference.seconds) << config_names[ci];
   }
@@ -160,6 +161,39 @@ TEST(Sweep, SpecResolutionSharesOneDag) {
   EXPECT_EQ(cells[0].workload, "cg:iters=2,m=2048,n=8");
   EXPECT_EQ(cells[0].metrics.seconds, cells[1].metrics.seconds);
   EXPECT_EQ(cells[0].metrics.dram_bytes, cells[1].metrics.dram_bytes);
+}
+
+// Worker-affine tiling hands each worker a run of consecutive same-config
+// cells (so pooled policies reset instead of rebuilding), but the tiling must
+// be invisible in the output: any thread count, including counts that don't
+// divide the grid, produces bit-identical row-major results.
+TEST(Sweep, WorkerAffineTilingBitIdenticalAcrossThreadCounts) {
+  // 3 workloads x 7 configs = 21 cells: prime-ish shapes so chunk boundaries
+  // land mid-run for every thread count below.
+  const std::vector<std::string> specs = {"cg:m=4096,n=8,iters=2", "gnn:cora",
+                                          "spmv:dataset=fv1,iters=2"};
+  const std::vector<std::string> configs = {"Flexagon", "Flex+LRU",    "Flex+BRRIP", "FLAT",
+                                            "SET",      "SCORE+BRRIP", "Cello"};
+  const AcceleratorConfig arch;
+
+  const auto reference = SweepRunner(/*threads=*/1).run(specs, configs, arch);
+  ASSERT_EQ(reference.size(), specs.size() * configs.size());
+  for (u32 threads : {2u, 3u, 5u, 8u}) {
+    const auto cells = SweepRunner(threads).run(specs, configs, arch);
+    ASSERT_EQ(cells.size(), reference.size()) << threads << " threads";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(cells[i].workload, reference[i].workload) << threads << " threads cell " << i;
+      EXPECT_EQ(cells[i].config, reference[i].config) << threads << " threads cell " << i;
+      EXPECT_EQ(cells[i].metrics.seconds, reference[i].metrics.seconds)
+          << threads << " threads cell " << i;
+      EXPECT_EQ(cells[i].metrics.dram_bytes, reference[i].metrics.dram_bytes)
+          << threads << " threads cell " << i;
+      EXPECT_EQ(cells[i].metrics.onchip_energy_pj, reference[i].metrics.onchip_energy_pj)
+          << threads << " threads cell " << i;
+      EXPECT_EQ(cells[i].metrics.traffic_by_tensor, reference[i].metrics.traffic_by_tensor)
+          << threads << " threads cell " << i;
+    }
+  }
 }
 
 TEST(Sweep, CellErrorsPropagateAfterJoin) {

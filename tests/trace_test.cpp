@@ -1,0 +1,262 @@
+// trace::ChromeTraceWriter + Simulator run tracing.
+//
+// Traces are *simulated-time* narrations, so they must be deterministic to
+// the byte: a checked-in golden pins the exact serialization for one CG cell
+// (CELLO_UPDATE_GOLDENS=1 ./trace_test to refresh after an intended change),
+// schema assertions pin the Chrome trace_event grammar Perfetto expects, and
+// equality tests pin that (a) arming a sink never perturbs the metrics and
+// (b) a sweep's --trace-cell bytes equal a direct Simulator::run's bytes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/registry.hpp"
+#include "sim/result_io.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "sim/workload_registry.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace cello;
+
+const char* golden_path() { return CELLO_SOURCE_DIR "/tests/goldens/trace_cg_cello.json"; }
+
+/// Trace one run of `spec` under configuration `name` and return the exact
+/// ChromeTraceWriter bytes (finish() included).
+std::string trace_run(const std::string& spec, const std::string& name,
+                      const sim::AcceleratorConfig& arch = {}) {
+  const sim::Workload wl = sim::WorkloadRegistry::global().resolve(spec);
+  const sim::Simulator simulator(arch, wl.matrix.get());
+  std::ostringstream out;
+  {
+    trace::ChromeTraceWriter writer(out);
+    sim::RunArtifacts art;
+    art.trace = &writer;
+    simulator.run(*wl.dag, sim::ConfigRegistry::global().at(name), art);
+  }
+  return out.str();
+}
+
+TEST(Trace, GoldenBytesForCgCello) {
+  const std::string got = trace_run("cg:m=2048,n=8,iters=2", "Cello");
+
+  if (std::getenv("CELLO_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << got;
+    ASSERT_TRUE(out.good()) << "failed to write " << golden_path();
+    return;
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << golden_path()
+                         << " — run with CELLO_UPDATE_GOLDENS=1 to generate";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "trace serialization drifted; CELLO_UPDATE_GOLDENS=1 ./trace_test if intended";
+}
+
+TEST(Trace, TwoRunsAreByteIdentical) {
+  const std::string a = trace_run("gnn:cora", "SCORE+LRU");
+  const std::string b = trace_run("gnn:cora", "SCORE+LRU");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// The emitted document must be one valid JSON object shaped like the Chrome
+// trace_event format: {"traceEvents": [...]}, every event carrying name / ph /
+// ts / pid / tid, ph limited to the phases we emit (M metadata, X complete
+// span, C counter), X durations non-negative, and counter timestamps
+// non-decreasing per (pid, tid, name) series.
+TEST(Trace, DocumentMatchesChromeTraceSchema) {
+  const std::string text = trace_run("cg:dataset=fv1,iters=3,n=8", "Cello");
+  const sim::JsonValue doc = sim::json_parse(text);
+
+  ASSERT_EQ(doc.type, sim::JsonValue::Type::Object);
+  const sim::JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.type, sim::JsonValue::Type::Array);
+  ASSERT_FALSE(events.items.empty());
+
+  int spans = 0, counters = 0, metas = 0;
+  std::map<std::string, double> counter_clock;  // per-series last ts
+  for (const auto& e : events.items) {
+    ASSERT_EQ(e.type, sim::JsonValue::Type::Object);
+    const std::string& ph = e.at("ph").as_string();
+    ASSERT_TRUE(ph == "X" || ph == "C" || ph == "M") << "unexpected phase " << ph;
+    EXPECT_FALSE(e.at("name").as_string().empty());
+    EXPECT_GE(e.at("pid").as_i64(), 0);
+    EXPECT_GE(e.at("tid").as_i64(), 0);
+
+    if (ph == "M") {
+      ++metas;
+      continue;  // metadata events have no timestamp semantics
+    }
+    const double ts = e.at("ts").as_double();
+    EXPECT_GE(ts, 0.0);
+    if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.at("dur").as_double(), 0.0);
+    } else {
+      ++counters;
+      const std::string series = e.at("pid").scalar + "/" + e.at("tid").scalar + "/" +
+                                 e.at("name").as_string();
+      auto it = counter_clock.find(series);
+      if (it != counter_clock.end()) {
+        EXPECT_GE(ts, it->second) << "counter series " << series << " went backwards";
+      }
+      counter_clock[series] = ts;
+      const sim::JsonValue& args = e.at("args");
+      EXPECT_EQ(args.type, sim::JsonValue::Type::Object);
+      EXPECT_GE(args.at("bytes").as_i64(), 0);
+    }
+  }
+  EXPECT_GT(spans, 0) << "no compute/dram spans emitted";
+  EXPECT_GT(counters, 0) << "no buffer-occupancy samples emitted";
+  EXPECT_GE(metas, 2) << "track metadata (process_name/thread_name) missing";
+}
+
+// Arming a sink must not perturb the simulation: same metrics to the bit.
+TEST(Trace, TracedRunMetricsEqualUntracedRun) {
+  const sim::Workload wl = sim::WorkloadRegistry::global().resolve("spmv:dataset=fv1,iters=2");
+  const sim::Simulator simulator({}, wl.matrix.get());
+  const sim::Configuration& config = sim::ConfigRegistry::global().at("Flex+BRRIP");
+
+  const sim::RunMetrics plain = simulator.run(*wl.dag, config);
+  std::ostringstream out;
+  trace::ChromeTraceWriter writer(out);
+  sim::RunArtifacts art;
+  art.trace = &writer;
+  const sim::RunMetrics traced = simulator.run(*wl.dag, config, art);
+
+  EXPECT_EQ(plain.seconds, traced.seconds);
+  EXPECT_EQ(plain.dram_bytes, traced.dram_bytes);
+  EXPECT_EQ(plain.onchip_energy_pj, traced.onchip_energy_pj);
+  EXPECT_EQ(plain.offchip_energy_pj, traced.offchip_energy_pj);
+  EXPECT_EQ(plain.sram_line_accesses, traced.sram_line_accesses);
+  EXPECT_EQ(plain.traffic_by_tensor, traced.traffic_by_tensor);
+}
+
+// SweepOptions::trace_cell narrates exactly the selected cell, and the bytes
+// equal a direct Simulator::run of that cell with the same sink — shared
+// schedules, reuse indexes, router tables and pooled scratch included.
+TEST(Trace, SweepTraceCellBytesEqualDirectRun) {
+  const std::vector<std::string> specs = {"cg:m=2048,n=8,iters=2", "gnn:cora"};
+  const std::vector<std::string> configs = {"Flexagon", "Cello", "SCORE+LRU"};
+  const sim::AcceleratorConfig arch;
+  auto& wreg = sim::WorkloadRegistry::global();
+  auto& creg = sim::ConfigRegistry::global();
+
+  std::vector<sim::Workload> workloads;
+  for (const auto& s : specs) workloads.push_back(wreg.resolve(s));
+  std::vector<sim::Configuration> cfgs;
+  for (const auto& c : configs) cfgs.push_back(creg.at(c));
+
+  // Trace cell (workload 1, config 1): gnn:cora under Cello.
+  const i64 cell = 1 * static_cast<i64>(configs.size()) + 1;
+  std::ostringstream from_sweep;
+  {
+    trace::ChromeTraceWriter writer(from_sweep);
+    sim::SweepOptions opts;
+    opts.trace_cell = cell;
+    opts.trace_sink = &writer;
+    const auto cells = sim::SweepRunner(/*threads=*/3).run(workloads, cfgs, arch, opts);
+    ASSERT_EQ(cells.size(), specs.size() * configs.size());
+  }
+  const std::string direct = trace_run("gnn:cora", "Cello", arch);
+  EXPECT_FALSE(direct.empty());
+  EXPECT_EQ(from_sweep.str(), direct);
+}
+
+TEST(Trace, SweepTraceCellRequiresSinkAndBounds) {
+  auto& wreg = sim::WorkloadRegistry::global();
+  auto& creg = sim::ConfigRegistry::global();
+  const std::vector<sim::Workload> workloads = {wreg.resolve("cg:m=2048,n=8,iters=2")};
+  const std::vector<sim::Configuration> configs = {creg.at("Cello")};
+
+  sim::SweepOptions no_sink;
+  no_sink.trace_cell = 0;  // no sink
+  EXPECT_THROW(sim::SweepRunner(1).run(workloads, configs, {}, no_sink), Error);
+
+  std::ostringstream out;
+  trace::ChromeTraceWriter writer(out);
+  sim::SweepOptions out_of_grid;
+  out_of_grid.trace_cell = 99;  // 1x1 grid
+  out_of_grid.trace_sink = &writer;
+  EXPECT_THROW(sim::SweepRunner(1).run(workloads, configs, {}, out_of_grid), Error);
+}
+
+// Multi-node runs add a NoC track whose "collectives" span starts where the
+// slowest shard finishes.
+TEST(Trace, MultinodeRunEmitsCollectivesSpan) {
+  sim::AcceleratorConfig arch;
+  arch.nodes = 4;
+  arch.topology = "mesh:2x2";
+  const std::string text = trace_run("gnn:cora", "Cello", arch);
+  const sim::JsonValue doc = sim::json_parse(text);
+
+  bool saw_collectives = false, saw_noc_track = false;
+  for (const auto& e : doc.at("traceEvents").items) {
+    const std::string& ph = e.at("ph").as_string();
+    const std::string& name = e.at("name").as_string();
+    if (ph == "X" && name == "collectives") {
+      saw_collectives = true;
+      const sim::JsonValue& args = e.at("args");
+      EXPECT_EQ(args.at("nodes").as_i64(), 4);
+      EXPECT_GE(args.at("noc_bytes").as_i64(), 0);
+    }
+    if (ph == "M" && name == "thread_name" &&
+        e.at("args").at("name").as_string() == "noc")
+      saw_noc_track = true;
+  }
+  EXPECT_TRUE(saw_collectives);
+  EXPECT_TRUE(saw_noc_track);
+}
+
+TEST(Trace, FinishIsIdempotentAndCountsEvents) {
+  std::ostringstream out;
+  trace::ChromeTraceWriter writer(out);
+  writer.track(0, 0, "p", "t");
+  writer.span(0, 0, "op", 0.0, 1e-6, {trace::arg("macs", i64{42})});
+  writer.counter(0, 0, "occ", 1e-6, Bytes{128});
+  writer.finish();
+  const std::string once = out.str();
+  writer.finish();  // idempotent: no extra bytes
+  EXPECT_EQ(out.str(), once);
+  // track() expands to process_name + thread_name metadata events.
+  EXPECT_EQ(writer.events(), 4u);
+  EXPECT_NO_THROW(sim::json_parse(once));
+}
+
+// The pre-PR-9 overloads still resolve (as [[deprecated]] shims) and agree
+// with the one real run(dag, config, artifacts) signature.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Trace, DeprecatedRunShimsMatchBundleApi) {
+  const sim::Workload wl = sim::WorkloadRegistry::global().resolve("cg:m=2048,n=8,iters=2");
+  const sim::Simulator simulator{sim::AcceleratorConfig{}};
+  const sim::RunMetrics want = simulator.run(*wl.dag, sim::ConfigRegistry::global().at("Cello"));
+
+  const sim::RunMetrics by_name = simulator.run(*wl.dag, "Cello");
+  const sim::RunMetrics by_kind = simulator.run(*wl.dag, sim::ConfigKind::Cello);
+  EXPECT_EQ(by_name.seconds, want.seconds);
+  EXPECT_EQ(by_kind.seconds, want.seconds);
+  EXPECT_EQ(by_name.dram_bytes, want.dram_bytes);
+  EXPECT_EQ(by_kind.dram_bytes, want.dram_bytes);
+
+  const sim::Configuration& config = sim::ConfigRegistry::global().at("Cello");
+  const score::Schedule sched = simulator.make_schedule(*wl.dag, config);
+  const sim::AddressMap map = sim::AddressMap::build(*wl.dag);
+  const sim::RunMetrics positional = simulator.run(*wl.dag, config, sched, map);
+  EXPECT_EQ(positional.seconds, want.seconds);
+  EXPECT_EQ(positional.dram_bytes, want.dram_bytes);
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
