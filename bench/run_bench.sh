@@ -107,18 +107,50 @@ out = {
     "context": {k: raw["context"].get(k) for k in ("host_name", "num_cpus", "library_version")},
     "benchmarks": benchmarks,
 }
+import math
+
+
+def geomean(xs):
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
 # Aggregate speedup over the cache-bound rows (Flex+LRU / Flex+BRRIP).
 cache_bound = [e["speedup"] for e in benchmarks
                if "speedup" in e and ("FlexLru" in e["name"] or "FlexBrrip" in e["name"])]
 if cache_bound:
-    import math
-    out["speedup_geomean_cache_bound"] = round(
-        math.exp(sum(math.log(s) for s in cache_bound) / len(cache_bound)), 2)
+    out["speedup_geomean_cache_bound"] = round(geomean(cache_bound), 2)
+
+# Per-category geomeans (time, and speedup where the baseline has the row):
+# one line per category so BENCH_*.json trajectories compare across PRs
+# without re-deriving them.  A row belongs to the first prefix that matches.
+CATEGORIES = ["Replay", "Sweep", "DagBuild", "ReuseIndex", "LlmDecode",
+              "Multinode", "TraceOverhead", "Cg", "Resnet"]
+categories = {}
+for e in benchmarks:
+    stem = e["name"].removeprefix("BM_")
+    cat = next((c for c in CATEGORIES if stem.startswith(c)), "Other")
+    categories.setdefault(cat, []).append(e)
+out["categories"] = {
+    cat: {
+        "rows": len(rows),
+        "geomean_real_time_ms": round(geomean([r["real_time_ms"] for r in rows]), 3),
+        **({"geomean_speedup": round(geomean([r["speedup"] for r in rows if "speedup" in r]), 2)}
+           if any("speedup" in r for r in rows) else {}),
+    }
+    for cat, rows in sorted(categories.items())
+}
+
 json.dump(out, open(out_path, "w"), indent=2)
 print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
 for e in benchmarks:
     s = f"  {e['name']:<28} {e['real_time_ms']:>10.3f} ms"
     if "speedup" in e:
         s += f"   ({e['speedup']}x vs baseline {e['baseline_ms']} ms)"
+    print(s)
+for cat, agg in out["categories"].items():
+    s = (f"geomean {cat:<14} {agg['geomean_real_time_ms']:>10.3f} ms"
+         f" over {agg['rows']} row(s)")
+    if "geomean_speedup" in agg:
+        s += f", {agg['geomean_speedup']}x vs baseline"
     print(s)
 EOF

@@ -16,11 +16,16 @@
 //                                 [--out results.json|results.csv]
 //                                 [--checkpoint <journal>] [--resume]
 //                                 [--keep-going] [--retries <n>]
-//                                 [--trace out.json --trace-cell W,C|W,F,C]
-//                                 (trace exactly one grid cell, by 0-based
-//                                  workload/fabric/config indices, to a
-//                                  Perfetto-loadable trace_event file —
-//                                  byte-identical to tracing a direct run)
+//                                 [--trace out.json --trace-cell W,C|W,F,C|all]...
+//                                 (trace grid cells, by 0-based
+//                                  workload/fabric/config indices, to
+//                                  Perfetto-loadable trace_event files —
+//                                  byte-identical to tracing direct runs.
+//                                  --trace-cell repeats to trace several
+//                                  cells, or "all" traces every cell; with
+//                                  more than one traced cell each writes
+//                                  out.cell<N>.json, N the flattened
+//                                  row-major cell id)
 //                                 (all registered configs, parallel SweepRunner;
 //                                  one immutable DAG/schedule per workload row;
 //                                  --shard runs one deterministic slice of the
@@ -53,7 +58,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -90,8 +98,8 @@ struct Options {
   bool resume = false;                    ///< sweep: continue from the journal
   bool keep_going = false;                ///< sweep: quarantine failing cells
   u32 retries = 0;                        ///< sweep: extra attempts per failing cell
-  std::optional<std::string> trace;       ///< run/sweep: Chrome trace_event output path
-  std::optional<std::string> trace_cell;  ///< sweep: "W,C" or "W,F,C" cell to trace
+  std::optional<std::string> trace;  ///< run/sweep: Chrome trace_event output path
+  std::vector<std::string> trace_cells;  ///< sweep: "W,C" / "W,F,C" cells, or "all"
   std::vector<std::string> positional;  ///< merge: <out.json> <shard.json>...
 };
 
@@ -121,7 +129,7 @@ Options parse(int argc, char** argv) {
     else if (auto v13 = next("--checkpoint")) o.checkpoint = *v13;
     else if (auto v14 = next("--retries")) o.retries = static_cast<u32>(std::stoul(*v14));
     else if (auto v15 = next("--trace")) o.trace = *v15;
-    else if (auto v16 = next("--trace-cell")) o.trace_cell = *v16;
+    else if (auto v16 = next("--trace-cell")) o.trace_cells.push_back(*v16);
     else if (std::strcmp(argv[i], "--resume") == 0) o.resume = true;
     else if (std::strcmp(argv[i], "--keep-going") == 0) o.keep_going = true;
     else if (argv[i][0] == '-')
@@ -149,12 +157,15 @@ Options parse(int argc, char** argv) {
     throw Error("--resume needs --checkpoint <journal> to know what to resume from");
   if (o.trace && o.command != "run" && o.command != "simulate" && o.command != "sweep")
     throw Error("--trace applies only to the run and sweep commands");
-  if (o.trace_cell && o.command != "sweep")
+  if (!o.trace_cells.empty() && o.command != "sweep")
     throw Error("--trace-cell applies only to the sweep command");
-  if (o.trace_cell && !o.trace)
+  if (!o.trace_cells.empty() && !o.trace)
     throw Error("--trace-cell needs --trace <out.json> for the events to land in");
-  if (o.command == "sweep" && o.trace && !o.trace_cell)
-    throw Error("sweep --trace needs --trace-cell to pick the one traced cell");
+  if (o.command == "sweep" && o.trace && o.trace_cells.empty())
+    throw Error("sweep --trace needs --trace-cell to pick the traced cells");
+  if (std::find(o.trace_cells.begin(), o.trace_cells.end(), "all") != o.trace_cells.end() &&
+      o.trace_cells.size() != 1)
+    throw Error("--trace-cell all already traces every cell: pass it alone");
   if (o.trace && o.command != "sweep") {
     if (o.workloads.size() > 1)
       throw Error("--trace records one run: pass exactly one --workload");
@@ -302,6 +313,19 @@ size_t parse_trace_cell(const std::string& text, const sim::SweepGrid& grid) {
   return (wi * grid.fabrics.size() + fi) * grid.configs.size() + ci;
 }
 
+/// Per-cell trace file naming: "out.json" + cell 7 -> "out.cell7.json" (no
+/// extension: "out" -> "out.cell7").  N is the flattened row-major cell id —
+/// the same number --trace-cell's W,C / W,F,C indices flatten to — so a file
+/// maps back to its grid coordinates without opening it.
+std::string trace_cell_path(const std::string& base, size_t cell) {
+  const size_t slash = base.find_last_of('/');
+  const size_t dot = base.find_last_of('.');
+  const std::string tag = ".cell" + std::to_string(cell);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + tag;
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
 /// "--shard i/k" with 1-based i in [1, k]; plan_shard re-validates the range.
 /// Both numbers must consume their whole token — "2/3x" must not silently
 /// run shard 2/3.
@@ -431,16 +455,55 @@ int run_cli(int argc, char** argv) {
       sweep_options.resume = o.resume;
       std::ofstream trace_stream;
       std::optional<trace::ChromeTraceWriter> tracer;
-      if (o.trace) {
-        const size_t cell = parse_trace_cell(*o.trace_cell, grid);
+      // Multi-cell tracing: one lazily-created writer per traced cell (the
+      // callback runs on pool workers, hence the mutex), each writing to the
+      // --trace path with ".cell<id>" spliced in before the extension.
+      struct CellTrace {
+        std::string path;
+        std::ofstream stream;
+        std::optional<trace::ChromeTraceWriter> writer;
+      };
+      std::map<size_t, CellTrace> cell_traces;
+      std::mutex cell_traces_mu;
+      const bool trace_all = !o.trace_cells.empty() && o.trace_cells.front() == "all";
+      if (o.trace && o.trace_cells.size() == 1 && !trace_all) {
+        // One named cell keeps the historical behavior: the trace lands at
+        // the --trace path itself, no ".cell<id>" tag.
+        const size_t cell = parse_trace_cell(o.trace_cells.front(), grid);
         if (std::find(plan.cells.begin(), plan.cells.end(), cell) == plan.cells.end())
-          throw Error("--trace-cell " + *o.trace_cell + " (cell " + std::to_string(cell) +
-                      ") is not in this shard's slice");
+          throw Error("--trace-cell " + o.trace_cells.front() + " (cell " +
+                      std::to_string(cell) + ") is not in this shard's slice");
         trace_stream.open(*o.trace, std::ios::binary);
         if (!trace_stream) throw Error("cannot write '" + *o.trace + "'");
         tracer.emplace(trace_stream);
         sweep_options.trace_cell = static_cast<i64>(cell);
         sweep_options.trace_sink = &*tracer;
+      } else if (o.trace) {
+        std::set<size_t> selected;
+        if (!trace_all) {
+          for (const auto& text : o.trace_cells) {
+            const size_t cell = parse_trace_cell(text, grid);
+            if (std::find(plan.cells.begin(), plan.cells.end(), cell) == plan.cells.end())
+              throw Error("--trace-cell " + text + " (cell " + std::to_string(cell) +
+                          ") is not in this shard's slice");
+            selected.insert(cell);
+          }
+        }
+        sweep_options.trace_sink_for =
+            [&cell_traces, &cell_traces_mu, &o, trace_all,
+             selected = std::move(selected)](size_t cell) -> trace::TraceSink* {
+          if (!trace_all && selected.find(cell) == selected.end()) return nullptr;
+          std::lock_guard<std::mutex> lock(cell_traces_mu);
+          auto it = cell_traces.find(cell);
+          if (it == cell_traces.end()) {
+            it = cell_traces.try_emplace(cell).first;
+            it->second.path = trace_cell_path(*o.trace, cell);
+            it->second.stream.open(it->second.path, std::ios::binary);
+            if (!it->second.stream) throw Error("cannot write '" + it->second.path + "'");
+            it->second.writer.emplace(it->second.stream);
+          }
+          return &*it->second.writer;
+        };
       }
       const sim::SweepRunner runner(o.jobs);
       auto cells = runner.run_shard(grid, plan, sweep_options);
@@ -448,6 +511,12 @@ int run_cli(int argc, char** argv) {
         tracer->finish();
         if (!trace_stream.flush()) throw Error("failed writing '" + *o.trace + "'");
         std::cout << "wrote trace " << *o.trace << " (" << tracer->events() << " events)\n";
+      }
+      for (auto& [cell, ct] : cell_traces) {
+        ct.writer->finish();
+        if (!ct.stream.flush()) throw Error("failed writing '" + ct.path + "'");
+        std::cout << "wrote trace " << ct.path << " (cell " << cell << ", "
+                  << ct.writer->events() << " events)\n";
       }
       size_t failed = 0;
       for (const auto& cell : cells)

@@ -44,6 +44,8 @@ enum class Policy {
 
 const char* to_string(Policy p);
 
+class StreamReplayer;
+
 struct CacheStats {
   u64 accesses = 0;
   u64 hits = 0;
@@ -121,6 +123,12 @@ class SetAssocCache {
   u32 associativity() const { return assoc_; }
 
  private:
+  /// The stream replayer (cache_replay.cpp) reproduces this cache's exact
+  /// replacement state from a captured access stream: it reads and writes the
+  /// lanes directly so snapshots, fast-forward restores, and the compact
+  /// AVX-512 engine's final write-back stay bit-identical to direct access.
+  friend class StreamReplayer;
+
   /// Tag-lane sentinels for an empty way.  The 8-way fast path stores tags
   /// as u32 and checks the bound per access: a simulated footprint would
   /// need to exceed line_bytes * sets * 2^32 bytes (petabytes for any real

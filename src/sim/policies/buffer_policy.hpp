@@ -25,6 +25,8 @@
 
 namespace cello::sim {
 
+struct AccessStream;
+
 /// DRAM traffic incurred by one serviced access (or one whole op for
 /// trace-driven policies).
 struct BufferService {
@@ -86,6 +88,20 @@ class BufferPolicy {
 
   // ---- trace-driven interface (op granularity) -----------------------------
   virtual BufferService service_op(const OpTrace&) { return {}; }
+
+  /// True when this policy can consume a pre-captured AccessStream instead of
+  /// per-op service_op calls (see sim/access_stream.hpp).
+  virtual bool supports_replay() const { return false; }
+  /// Replay a captured stream end to end, filling one BufferService per
+  /// scheduled step — the exact values the equivalent service_op sequence
+  /// would have returned, with the policy left in the same final state.
+  /// Returns false (with the policy untouched) when the stream is not
+  /// replayable here, e.g. a geometry mismatch; the caller then falls back to
+  /// direct servicing.
+  virtual bool replay(const AccessStream& /*stream*/,
+                      std::vector<BufferService>& /*services*/) {
+    return false;
+  }
 
   /// Bytes of on-chip buffer capacity currently holding live data: pinned /
   /// resident tensor bytes for the analytic policies, valid lines x line size

@@ -1,170 +1,93 @@
 #include "sim/policies/cache_policy.hpp"
 
-#include <algorithm>
+#include <memory>
 
+#include "cache/cache_replay.hpp"
 #include "mem/sram_model.hpp"
+#include "sim/access_stream.hpp"
 
 namespace cello::sim {
 
-BufferService CachePolicy::service_op(const OpTrace& trace) {
-  const ir::TensorDag& dag = *trace.dag;
-  const ir::EinsumOp& op = *trace.op;
-  const AddressMap& map = *trace.map;
-  const sparse::CsrMatrix* matrix = trace.matrix;
+namespace {
 
+cache::ReplaySpans spans_view(const AccessStream& s) {
+  cache::ReplaySpans v;
+  v.addr = s.addr.data();
+  v.len = s.len.data();
+  v.write = s.write.data();
+  v.op_end = s.op_end.data();
+  v.prefix_steps = s.prefix_steps;
+  v.period_steps = s.period_steps;
+  v.period_count = s.period_count;
+  v.suffix_steps = s.suffix_steps;
+  v.schedule_steps = s.schedule_steps;
+  v.min_addr = s.min_addr;
+  v.max_addr = s.max_addr;
+  return v;
+}
+
+void convert_services(const std::vector<cache::ReplayService>& in,
+                      std::vector<BufferService>& out) {
+  out.resize(in.size());
+  for (size_t i = 0; i < in.size(); ++i) out[i] = {in[i].dram_read, in[i].dram_write};
+}
+
+}  // namespace
+
+BufferService CachePolicy::service_op(const OpTrace& trace) {
   const Bytes read_before = cache_.stats().dram_read_bytes;
   const Bytes write_before = cache_.stats().dram_write_bytes;
 
-  constexpr i64 kChunkRows = 512;
-
-  auto line_range = [&](Addr start, Bytes len) -> LineRange {
-    if (len == 0) return {};
-    const u64 first = cache_.line_of(start);
-    return {first, cache_.line_of(start + len - 1) - first + 1};
-  };
-
-  // Identify the sparse operand (if any) and split the rest by size.  The
-  // partitions live in member scratch so the steady path never allocates.
-  const ir::TensorDesc* sparse_in = nullptr;
-  large_in_.clear();
-  small_in_.clear();
-  for (ir::TensorId in : trace.inputs) {
-    const ir::TensorDesc& t = dag.tensor(in);
-    if (t.storage == ir::Storage::CompressedSparse)
-      sparse_in = &t;
-    else if (t.bytes() > arch_.rf_bytes)
-      large_in_.push_back(&t);
-    else
-      small_in_.push_back(line_range(map.of(t.id).start, t.bytes()));
-  }
-  const ir::TensorDesc& out = dag.tensor(op.output);
-
-  // The op's iteration space along the large (row) dimension.
-  i64 rows = 1;
-  for (const auto& r : op.ranks) rows = std::max(rows, r.size);
-  if (sparse_in == nullptr && large_in_.empty() && out.bytes() <= arch_.rf_bytes) rows = 1;
-
-  auto row_bytes = [&](const ir::TensorDesc& t) -> Bytes {
-    const i64 r = t.dims.empty() ? 1 : t.dims.front();
-    return std::max<Bytes>(1, t.bytes() / std::max<i64>(1, r));
-  };
-
-  // Loop-invariant address bases, resolved once per op rather than per chunk
-  // (and, for the CSR gather, per nonzero).
-  const Addr sparse_start = sparse_in != nullptr ? map.of(sparse_in->id).start : 0;
-  const bool real_trace =
-      sparse_in != nullptr && matrix != nullptr && matrix->rows() == rows;
-  const i64* row_ptr = real_trace ? matrix->row_ptr().data() : nullptr;
-  const i64* col_idx = real_trace ? matrix->col_idx().data() : nullptr;
-  const ir::TensorDesc* gather_dense = nullptr;
-  Addr gather_start = 0;
-  Bytes gather_rb = 0;
-  if (sparse_in != nullptr && !large_in_.empty()) {
-    gather_dense = large_in_.front();
-    gather_start = map.of(gather_dense->id).start;
-    gather_rb = row_bytes(*gather_dense);
-  }
-  const bool out_serviced = trace.service_output;
-  const bool out_large = out.bytes() > arch_.rf_bytes;
-  const Addr out_start = out_serviced ? map.of(out.id).start : 0;
-  const Bytes out_rb = out_serviced && out_large ? row_bytes(out) : 0;
-  const LineRange out_small =
-      out_serviced && !out_large ? line_range(out_start, out.bytes()) : LineRange{};
-
-  for (i64 r0 = 0; r0 < rows; r0 += kChunkRows) {
-    const i64 r1 = std::min(rows, r0 + kChunkRows);
-
-    if (sparse_in != nullptr) {
-      // CSR segment of the chunk: values + columns stream sequentially.
-      Bytes seg_off = 0, seg_len = 0;
-      if (real_trace) {
-        const i64 k0 = row_ptr[r0], k1 = row_ptr[r1];
-        seg_off = static_cast<Bytes>(k0) * 8;
-        seg_len = static_cast<Bytes>(k1 - k0) * 8;
-      } else {
-        const Bytes per_row = sparse_in->bytes() / std::max<i64>(1, rows);
-        seg_off = static_cast<Bytes>(r0) * per_row;
-        seg_len = static_cast<Bytes>(r1 - r0) * per_row;
-      }
-      cache_.access_range(sparse_start + seg_off, seg_len, false);
-
-      // Gather the dense operand rows indexed by the chunk's non-zeros.
-      if (gather_dense != nullptr) {
-        // When dense rows are whole aligned cache lines, byte ranges of
-        // consecutive columns are contiguous and share no line — so a run of
-        // consecutive columns replays as ONE range walk, touching exactly
-        // the same lines in the same order as per-column calls.  Banded
-        // matrices (most of Table VI) are nearly all such runs.
-        const bool mergeable =
-            gather_rb % arch_.line_bytes == 0 && gather_start % arch_.line_bytes == 0;
-        if (real_trace) {
-          // The column sequence is irregular, so tell the cache model which
-          // sets are coming: prefetching the metadata lanes a few gathers
-          // ahead hides their host-memory latency.
-          constexpr i64 kPrefetchAhead = 16;
-          const i64 k1 = row_ptr[r1];
-          for (i64 k = row_ptr[r0]; k < k1;) {
-            if (k + kPrefetchAhead < k1)
-              cache_.prefetch_range(
-                  gather_start + static_cast<Bytes>(col_idx[k + kPrefetchAhead]) * gather_rb,
-                  gather_rb);
-            const i64 c0 = col_idx[k];
-            i64 c_end = c0 + 1;
-            ++k;
-            if (mergeable)
-              while (k < k1 && col_idx[k] == c_end) {
-                ++c_end;
-                ++k;
-              }
-            cache_.access_range(gather_start + static_cast<Bytes>(c0) * gather_rb,
-                                static_cast<Bytes>(c_end - c0) * gather_rb, false);
-          }
-        } else {
-          // Synthetic banded gather when no matrix is supplied: row r touches
-          // the clamped column band [r - occ/2, r + occ/2).
-          const i64 occ = std::max<i64>(1, sparse_in->nnz / std::max<i64>(1, rows));
-          for (i64 r = r0; r < r1; ++r) {
-            i64 k = 0;
-            while (k < occ) {
-              const i64 c0 = std::min<i64>(rows - 1, std::max<i64>(0, r + k - occ / 2));
-              i64 c_end = c0 + 1;
-              ++k;
-              if (mergeable)
-                while (k < occ &&
-                       std::min<i64>(rows - 1, std::max<i64>(0, r + k - occ / 2)) == c_end) {
-                  ++c_end;
-                  ++k;
-                }
-              cache_.access_range(gather_start + static_cast<Bytes>(c0) * gather_rb,
-                                  static_cast<Bytes>(c_end - c0) * gather_rb, false);
-            }
-          }
-        }
-      }
-    } else {
-      for (const auto* t : large_in_) {
-        const Bytes rb = row_bytes(*t);
-        cache_.access_range(map.of(t->id).start + static_cast<Bytes>(r0) * rb,
-                            static_cast<Bytes>(r1 - r0) * rb, false);
-      }
-    }
-
-    // Small operands re-streamed per chunk (they hit once resident).
-    for (const LineRange& t : small_in_) cache_.access_lines(t.first_line, t.count, false);
-
-    // Output chunk: skewed outputs stream; small outputs accumulate (RMW).
-    if (out_serviced) {
-      if (out_large) {
-        cache_.access_range(out_start + static_cast<Bytes>(r0) * out_rb,
-                            static_cast<Bytes>(r1 - r0) * out_rb, true);
-      } else {
-        cache_.access_lines(out_small.first_line, out_small.count, true);
-      }
-    }
-  }
+  emit_op_accesses(
+      trace, arch_, scratch_,
+      [&](Addr a, Bytes l, bool w) { cache_.access_range(a, l, w); },
+      [&](Addr a, Bytes l) { cache_.prefetch_range(a, l); });
 
   return {.dram_read = cache_.stats().dram_read_bytes - read_before,
           .dram_write = cache_.stats().dram_write_bytes - write_before};
+}
+
+bool CachePolicy::replay(const AccessStream& stream, std::vector<BufferService>& services) {
+  if (!stream.compatible(arch_) || cache_.stats().accesses != 0) return false;
+  const cache::ReplaySpans view = spans_view(stream);
+  cache::StreamReplayer rep(cache_, view);
+  std::vector<cache::ReplayService> rs;
+  rep.run(rs);
+  convert_services(rs, services);
+  return true;
+}
+
+bool CachePolicy::replay_many(const AccessStream& stream,
+                              const std::vector<CachePolicy*>& policies,
+                              std::vector<std::vector<BufferService>>& services) {
+  for (CachePolicy* p : policies)
+    if (!stream.compatible(p->arch_) || p->cache_.stats().accesses != 0) return false;
+  const cache::ReplaySpans view = spans_view(stream);
+  std::vector<std::unique_ptr<cache::StreamReplayer>> reps;
+  reps.reserve(policies.size());
+  for (CachePolicy* p : policies)
+    reps.push_back(std::make_unique<cache::StreamReplayer>(p->cache_, view));
+  for (auto& r : reps) r->run_prefix();
+  // Occurrence lockstep: every engine consumes the same period block before
+  // the stream moves on, so the block's spans stay hot across all of them.
+  // Engines converge (fast-forward) independently and then no-op.
+  for (u64 o = 0; o < stream.period_count; ++o) {
+    bool live = false;
+    for (auto& r : reps) {
+      r->run_occurrence();
+      live = live || !r->converged();
+    }
+    if (!live) break;
+  }
+  services.resize(reps.size());
+  std::vector<cache::ReplayService> rs;
+  for (size_t i = 0; i < reps.size(); ++i) {
+    reps[i]->run_suffix();
+    rs.clear();
+    reps[i]->finish(rs);
+    convert_services(rs, services[i]);
+  }
+  return true;
 }
 
 std::optional<std::vector<DrainItem>> CachePolicy::drain(const DrainContext&) {

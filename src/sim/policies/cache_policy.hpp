@@ -3,15 +3,20 @@
 // routed op is replayed as a chunked access stream, including the SpMM
 // gather pattern against the real sparse matrix when one is provided.
 //
-// service_op is allocation-free on the steady path: operand partitions live
-// in member scratch vectors and every per-chunk address decomposition that is
-// loop-invariant (base addresses, row strides, small-operand line ranges) is
-// hoisted out of the row loops and fed to the cache's line-granularity API.
+// Two servicing paths, bit-identical by construction:
+//  * service_op drives the cache directly through the shared span emitter
+//    (sim/policies/access_gen.hpp), allocation-free on the steady path;
+//  * replay() consumes a pre-captured AccessStream of the same spans through
+//    cache::StreamReplayer — one capture amortizes address generation across
+//    every cache geometry in a sweep column, and periodic streams
+//    fast-forward once the cache state cycles.  replay_many() batches N
+//    pooled policies over a single stream pass.
 #pragma once
 
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "sim/policies/access_gen.hpp"
 #include "sim/policies/buffer_policy.hpp"
 
 namespace cello::sim {
@@ -31,11 +36,24 @@ class CachePolicy final : public BufferPolicy {
   bool reusable() const override { return true; }
   void reset() override {
     cache_.reset();
-    large_in_.clear();
-    small_in_.clear();
+    scratch_.large_in.clear();
+    scratch_.small_in.clear();
   }
 
   BufferService service_op(const OpTrace& trace) override;
+
+  bool supports_replay() const override { return true; }
+  /// Stream replay; requires a compatible stream and a freshly reset cache
+  /// (returns false otherwise — the caller falls back to service_op).
+  bool replay(const AccessStream& stream, std::vector<BufferService>& services) override;
+
+  /// Batched replay: run every policy over one pass of the stream in
+  /// occurrence lockstep, so N cache geometries (LRU/BRRIP x SRAM budgets)
+  /// share each hot period block while it is resident in the host caches.
+  /// Equivalent to N independent replay() calls; all-or-nothing (returns
+  /// false with every policy untouched when any one is ineligible).
+  static bool replay_many(const AccessStream& stream, const std::vector<CachePolicy*>& policies,
+                          std::vector<std::vector<BufferService>>& services);
 
   /// End-of-run flush of dirty lines.
   std::optional<std::vector<DrainItem>> drain(const DrainContext& ctx) override;
@@ -54,14 +72,9 @@ class CachePolicy final : public BufferPolicy {
   cache::Policy replacement_;
   cache::SetAssocCache cache_;
 
-  /// Precomputed whole-tensor line range, re-streamed once per chunk.
-  struct LineRange {
-    u64 first_line = 0;
-    u64 count = 0;
-  };
-  // Reused scratch (cleared per op) — service_op allocates nothing steady-state.
-  std::vector<const ir::TensorDesc*> large_in_;
-  std::vector<LineRange> small_in_;
+  // Reused operand-partition scratch — service_op allocates nothing
+  // steady-state.
+  OpAccessScratch scratch_;
 };
 
 BufferPolicyFactory lru_cache();

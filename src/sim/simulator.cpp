@@ -1,10 +1,12 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
 #include "noc/topology.hpp"
+#include "sim/access_stream.hpp"
 #include "sim/address_map.hpp"
 #include "sim/partition.hpp"
 #include "sim/policies/schedule_policy.hpp"
@@ -84,6 +86,14 @@ void emit_run_trace(trace::TraceSink& sink, const ir::TensorDag& dag, const Sche
                final_occupancy);
 }
 
+/// CELLO_DISABLE_REPLAY=1 forces per-op servicing even when a stream is
+/// available — the escape hatch for isolating replay from a regression.
+/// Re-read per run (not cached) so tests can toggle it.
+bool replay_disabled_by_env() {
+  const char* e = std::getenv("CELLO_DISABLE_REPLAY");
+  return e != nullptr && *e != '\0' && *e != '0';
+}
+
 }  // namespace
 
 void trace_collectives(trace::TraceSink& sink, const RunMetrics& folded,
@@ -132,7 +142,8 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
     // context describes the full workload; the shard run keeps it as an
     // approximation of one node's slice of the sparsity structure.
     CELLO_CHECK_MSG(artifacts.schedule == nullptr && artifacts.address_map == nullptr &&
-                        artifacts.reuse_index == nullptr && artifacts.router_tables == nullptr,
+                        artifacts.reuse_index == nullptr && artifacts.router_tables == nullptr &&
+                        artifacts.access_stream == nullptr,
                     "prebuilt artifacts describe one DAG and are single-chip; multi-node runs "
                     "build per-node shard artifacts themselves");
     const noc::Topology topo =
@@ -158,26 +169,29 @@ RunMetrics Simulator::run(const ir::TensorDag& dag, const Configuration& config,
   CELLO_CHECK_MSG((artifacts.schedule == nullptr) == (artifacts.address_map == nullptr),
                   "RunArtifacts::schedule and ::address_map travel together: both or neither");
   CELLO_CHECK_MSG(artifacts.schedule != nullptr ||
-                      (artifacts.reuse_index == nullptr && artifacts.router_tables == nullptr),
-                  "a prebuilt reuse index / router tables need their schedule alongside");
+                      (artifacts.reuse_index == nullptr && artifacts.router_tables == nullptr &&
+                       artifacts.access_stream == nullptr),
+                  "a prebuilt reuse index / router tables / access stream need their schedule "
+                  "alongside");
   if (artifacts.schedule == nullptr) {
     const Schedule sched = make_schedule(dag, config);
     const AddressMap map = AddressMap::build(dag);
     const score::ReuseIndex reuse =
         score::ReuseIndex::build(dag, sched, map.base_of, map.entries.size());
     return run_impl(dag, config, arch, sched, map, reuse, nullptr, artifacts.scratch,
-                    artifacts.trace);
+                    artifacts.trace, nullptr);
   }
   if (artifacts.reuse_index == nullptr) {
     const score::ReuseIndex reuse = score::ReuseIndex::build(
         dag, *artifacts.schedule, artifacts.address_map->base_of,
         artifacts.address_map->entries.size());
     return run_impl(dag, config, arch, *artifacts.schedule, *artifacts.address_map, reuse,
-                    artifacts.router_tables, artifacts.scratch, artifacts.trace);
+                    artifacts.router_tables, artifacts.scratch, artifacts.trace,
+                    artifacts.access_stream);
   }
   return run_impl(dag, config, arch, *artifacts.schedule, *artifacts.address_map,
                   *artifacts.reuse_index, artifacts.router_tables, artifacts.scratch,
-                  artifacts.trace);
+                  artifacts.trace, artifacts.access_stream);
 }
 
 // ---- deprecated shims (call through to the RunArtifacts signature) ---------
@@ -212,7 +226,7 @@ RunMetrics Simulator::run_impl(const ir::TensorDag& dag, const Configuration& co
                                const AcceleratorConfig& arch, const Schedule& sched,
                                const AddressMap& map, const score::ReuseIndex& reuse_index,
                                const RouterTables* tables, RunScratch* scratch,
-                               trace::TraceSink* sink) const {
+                               trace::TraceSink* sink, const AccessStream* stream) const {
   CELLO_CHECK_MSG(static_cast<bool>(config.buffers),
                   "configuration '" << config.name << "' has no buffer policy factory");
   CELLO_CHECK_MSG(reuse_index.num_bases() == map.entries.size(),
@@ -247,6 +261,24 @@ RunMetrics Simulator::run_impl(const ir::TensorDag& dag, const Configuration& co
   }
   BufferPolicy* const policy = slot.policy.get();
   const bool trace = policy->trace_driven();
+
+  // Stream replay: consume the pre-captured access stream in one pass up
+  // front instead of regenerating per-op accesses inside the loop.  Traced
+  // runs stay on the direct path — their per-step occupancy samples need the
+  // cache state to evolve stepwise.  policy->replay re-checks geometry
+  // compatibility and falls back (returns false) on mismatch, so a stale
+  // stream can slow a run down but never skew it.
+  const std::vector<BufferService>* replayed = nullptr;
+  if (trace && stream != nullptr && sink == nullptr && policy->supports_replay() &&
+      !replay_disabled_by_env()) {
+    CELLO_CHECK_MSG(stream->schedule_steps == sched.steps.size(),
+                    "access stream captured over a different schedule ("
+                        << stream->schedule_steps << " steps, schedule has "
+                        << sched.steps.size() << ")");
+    std::vector<BufferService>& services = s.replay_services_;
+    services.clear();
+    if (policy->replay(*stream, services)) replayed = &services;
+  }
 
   score::ReuseCursor& reuse = s.cursor_;
   reuse.reset(reuse_index);
@@ -379,7 +411,7 @@ RunMetrics Simulator::run_impl(const ir::TensorDag& dag, const Configuration& co
           break;
         case Route::Buffer:
           if (trace) {
-            op_trace.inputs.push_back(in);
+            if (replayed == nullptr) op_trace.inputs.push_back(in);
           } else {
             const BufferService s = policy->read_tensor(meta_for(t, step));
             if (s.dram_read > 0) attribute_read(s.dram_read, base);
@@ -423,9 +455,15 @@ RunMetrics Simulator::run_impl(const ir::TensorDag& dag, const Configuration& co
     }
 
     if (trace) {
-      op_trace.op = &op;
-      op_trace.service_output = out_route == Route::Buffer;
-      op_dram += policy->service_op(op_trace).total();
+      if (replayed != nullptr) {
+        // The replay already drove the cache; per-step traffic was recorded
+        // at the stream's op boundaries.
+        op_dram += (*replayed)[i].total();
+      } else {
+        op_trace.op = &op;
+        op_trace.service_output = out_route == Route::Buffer;
+        op_dram += policy->service_op(op_trace).total();
+      }
     }
 
     metrics.per_op.push_back({op.name, op.macs(), op_dram});

@@ -42,7 +42,9 @@ class TraceSink;
 namespace cello::sim {
 
 class BufferPolicy;
-struct RouterTables;  // sim/policies/schedule_policy.hpp
+struct BufferService;  // sim/policies/buffer_policy.hpp
+struct RouterTables;   // sim/policies/schedule_policy.hpp
+struct AccessStream;   // sim/access_stream.hpp
 
 /// Reusable per-run state: the simulator's per-base scratch vectors, the
 /// reuse cursors, and a pool of reset-instead-of-reconstructed BufferPolicy
@@ -83,6 +85,8 @@ class RunScratch {
     AcceleratorConfig arch;
   };
   std::map<std::string, PooledPolicy> policies_;
+  /// Per-step services of a stream replay (capacity pooled across runs).
+  std::vector<BufferService> replay_services_;
 };
 
 /// Every optional per-run input to Simulator::run, in one bundle — adding a
@@ -113,6 +117,16 @@ struct RunArtifacts {
   /// cost of one pointer test per scheduled step.  Traced runs return the
   /// exact metrics of untraced ones.
   trace::TraceSink* trace = nullptr;
+  /// Pre-captured access stream of (`schedule`, `address_map`) — see
+  /// AccessStream::capture; requires `schedule` alongside.  When the
+  /// configuration's buffer policy can replay it (CachePolicy under a
+  /// matching geometry), the run consumes the stream instead of regenerating
+  /// per-op accesses — bit-identical metrics, several-fold faster.  Ignored
+  /// (with automatic fallback to direct servicing) for policies or runs that
+  /// cannot replay: analytic policies, traced runs (per-step occupancy
+  /// samples need stepwise cache state), geometry mismatches, or
+  /// CELLO_DISABLE_REPLAY=1 in the environment.
+  const AccessStream* access_stream = nullptr;
 };
 
 class Simulator {
@@ -161,7 +175,7 @@ class Simulator {
                       const AcceleratorConfig& arch, const score::Schedule& sched,
                       const AddressMap& map, const score::ReuseIndex& reuse_index,
                       const RouterTables* tables, RunScratch* scratch,
-                      trace::TraceSink* sink) const;
+                      trace::TraceSink* sink, const AccessStream* stream) const;
 
   AcceleratorConfig arch_;
   const sparse::CsrMatrix* matrix_;

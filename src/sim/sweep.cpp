@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -15,8 +16,10 @@
 #include "common/failpoint.hpp"
 #include "noc/topology.hpp"
 #include "score/schedule.hpp"
+#include "sim/access_stream.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/partition.hpp"
+#include "sim/policies/buffer_policy.hpp"
 #include "sim/policies/schedule_policy.hpp"
 #include "sim/registry.hpp"
 #include "sim/shard.hpp"
@@ -33,6 +36,14 @@ struct WorkloadView {
   const ir::TensorDag* dag;
   const sparse::CsrMatrix* matrix;  ///< may be null
 };
+
+/// Mirror of the Simulator::run escape hatch: when CELLO_DISABLE_REPLAY is
+/// set the sweep skips stream capture too, instead of capturing streams the
+/// runs would then ignore.
+bool replay_disabled_by_env() {
+  const char* e = std::getenv("CELLO_DISABLE_REPLAY");
+  return e != nullptr && *e != '\0' && *e != '0';
+}
 
 /// Worker-pool size for `total` jobs (parallel_for uses exactly this many).
 u32 worker_count(u32 threads, size_t total) {
@@ -119,6 +130,8 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
                       "shard cell " << cell << " outside the " << grid_size << "-cell grid");
   CELLO_CHECK_MSG((opts.trace_cell >= 0) == (opts.trace_sink != nullptr),
                   "SweepOptions::trace_cell and ::trace_sink travel together: both or neither");
+  CELLO_CHECK_MSG(!opts.trace_sink_for || opts.trace_cell < 0,
+                  "SweepOptions::trace_sink_for excludes trace_cell/trace_sink: one selector");
   CELLO_CHECK_MSG(opts.trace_cell < 0 || static_cast<size_t>(opts.trace_cell) < grid_size,
                   "trace cell " << opts.trace_cell << " outside the " << grid_size
                                 << "-cell grid");
@@ -367,6 +380,59 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     }
   });
 
+  // ---- access streams (third prebuild wave) ----
+  // One captured AccessStream per (DAG, router key) any pending single-node
+  // trace-driven replay-capable cell touches.  Capture is config-independent
+  // — only the schedule shape and routing decisions enter the stream — so
+  // configurations sharing a router slot (e.g. the Table IV cache presets on
+  // the op-by-op schedule) replay one stream: address generation is paid once
+  // per column instead of once per cell.  Simulator::run picks replay up
+  // automatically from RunArtifacts; traced cells stay on the direct path
+  // (run_impl gates replay on the absence of a sink), and multi-node rows
+  // keep their historical path untouched.
+  std::vector<char> config_replayable(C, 0);
+  if (!replay_disabled_by_env()) {
+    for (size_t ci = 0; ci < C; ++ci) {
+      if (!configs[ci].buffers) continue;
+      const auto probe = configs[ci].buffers(router_keys[config_rslot[ci]].arch);
+      config_replayable[ci] =
+          probe != nullptr && probe->trace_driven() && probe->supports_replay();
+    }
+  }
+  std::vector<std::vector<std::optional<AccessStream>>> streams(
+      unique_dag.size(), std::vector<std::optional<AccessStream>>(router_keys.size()));
+  std::vector<std::vector<char>> stream_needed(unique_dag.size(),
+                                               std::vector<char>(router_keys.size(), 0));
+  std::vector<const sparse::CsrMatrix*> dag_matrix(unique_dag.size(), nullptr);
+  for (size_t j = 0; j < total; ++j) {
+    if (done[j]) continue;
+    const size_t cell = cells != nullptr ? (*cells)[j] : j;
+    const size_t rf = cell / C;
+    const size_t ci = cell % C;
+    if (!config_replayable[ci]) continue;
+    if (rows[rf].part != nullptr || rows[rf].dag == nullptr) continue;
+    const size_t di = dag_slot[rf];
+    stream_needed[di][config_rslot[ci]] = 1;
+    dag_matrix[di] = workloads[rf / F].matrix;
+  }
+  struct StreamJob {
+    const ir::TensorDag* dag;
+    size_t di;
+    size_t ri;
+  };
+  std::vector<StreamJob> stream_jobs;
+  for (const auto& [dag, di] : unique_dag)
+    for (size_t r = 0; r < router_keys.size(); ++r)
+      if (stream_needed[di][r]) stream_jobs.push_back({dag, di, r});
+  parallel_for(threads, stream_jobs.size(), [&](size_t j, u32 /*worker*/) {
+    const StreamJob& job = stream_jobs[j];
+    const RouterKey& key = router_keys[job.ri];
+    const score::Schedule& sched = *scheds[job.di][key.sched_slot];
+    const Router router(*job.dag, sched, key.policy, *rtables[job.di][job.ri]);
+    streams[job.di][job.ri].emplace(AccessStream::capture(
+        *job.dag, sched, *maps[job.di], dag_matrix[job.di], key.arch, router));
+  });
+
   // ---- the grid ----
   // Each pool worker owns one RunScratch: per-cell mutable state (reuse
   // cursors, attribution scratch, pooled buffer policies) is reset, not
@@ -415,8 +481,13 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
     const WorkloadView& wl = workloads[wi];
     SweepResult result{*wl.name, configs[ci].name, {}, {}, {}};
     if (fabric_axis) result.fabric = fabs[fi];
-    const bool traced =
-        opts.trace_sink != nullptr && opts.trace_cell == static_cast<i64>(cell);
+    trace::TraceSink* sink = nullptr;
+    if (opts.trace_sink_for) {
+      sink = opts.trace_sink_for(cell);
+    } else if (opts.trace_sink != nullptr && opts.trace_cell == static_cast<i64>(cell)) {
+      sink = opts.trace_sink;
+    }
+    const bool traced = sink != nullptr;
     // Deterministic bounded retries: attempts run back-to-back on the same
     // worker, so the final outcome is independent of thread scheduling.
     std::string error;
@@ -432,7 +503,9 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
         art.reuse_index = &*reuse[dag_slot[rf]][config_slot[ci]];
         art.router_tables = &*rtables[dag_slot[rf]][config_rslot[ci]];
         art.scratch = &scratches[worker];
-        if (traced) art.trace = opts.trace_sink;
+        const auto& stream = streams[dag_slot[rf]][config_rslot[ci]];
+        if (stream.has_value()) art.access_stream = &*stream;
+        if (traced) art.trace = sink;
         result.metrics = simulator.run(*row.dag, configs[ci], art);
         if (row.part != nullptr) {
           const Baseline& base = baselines.at({wi, ci});
@@ -443,7 +516,7 @@ std::vector<SweepResult> run_grid(u32 threads, const std::vector<WorkloadView>& 
           const double per_node_seconds = result.metrics.seconds;
           result.metrics = fold_multinode(result.metrics, base.seconds, *row.part,
                                           *finfo[fi].topo, arch);
-          if (traced) trace_collectives(*opts.trace_sink, result.metrics, per_node_seconds);
+          if (traced) trace_collectives(*sink, result.metrics, per_node_seconds);
         }
         break;
       } catch (const std::exception& e) {

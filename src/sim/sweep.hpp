@@ -7,10 +7,13 @@
 // or as resolved sim::Workload handles; each spec's DAG is built once per
 // sweep and shared immutably across its row.  Per (workload, schedule-policy)
 // pair the runner also builds one immutable score::Schedule + AddressMap +
-// score::ReuseIndex — plus one sim::RouterTables per distinct routing key —
-// and shares them read-only across the pool: configurations differing only in
-// their buffer policy reuse the same schedule, reuse table and routing tables
-// instead of rebuilding them per cell.  Mutable per-run state lives in one
+// score::ReuseIndex — plus one sim::RouterTables per distinct routing key and
+// one captured sim::AccessStream per (DAG, routing key) any trace-driven
+// replay-capable cell touches — and shares them read-only across the pool:
+// configurations differing only in their buffer policy reuse the same
+// schedule, reuse table, routing tables and access stream instead of
+// rebuilding them per cell (the cache presets replay one stream; see
+// sim/access_stream.hpp).  Mutable per-run state lives in one
 // RunScratch per pool worker (reuse cursors, attribution scratch, pooled
 // reset-between-cells buffer policies); workers never share it.  Cells are
 // handed out in configuration-major run-length chunks (worker-affine tiling),
@@ -19,6 +22,7 @@
 // cell stays bit-identical to a fresh serial run at any thread count.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -89,6 +93,13 @@ struct SweepOptions {
   i64 trace_cell = -1;
   /// Sink the traced cell writes to (borrowed; must outlive the sweep).
   trace::TraceSink* trace_sink = nullptr;
+  /// Multi-cell tracing: called once per executed cell with its flattened
+  /// row-major id; a non-null return traces that cell into the returned sink
+  /// (borrowed; must outlive the sweep).  Called concurrently from pool
+  /// workers, so the callback must be thread-safe.  Checkpoint-recovered
+  /// cells are never consulted (they re-emit nothing, like trace_cell).
+  /// Mutually exclusive with trace_cell / trace_sink.
+  std::function<trace::TraceSink*(size_t cell)> trace_sink_for;
 };
 
 class SweepRunner {

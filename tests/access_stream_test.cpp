@@ -1,0 +1,267 @@
+// Capture/replay split of the trace-driven cache path (sim/access_stream.hpp,
+// cache/cache_replay.hpp): replaying a captured AccessStream must be
+// bit-identical to direct service_op simulation — per metric field, per op —
+// on every golden workload under all seven Table IV presets (plus Flex+KV,
+// which is trace-driven but not replayable and must be untouched by the
+// plumbing).  Also pins: capture determinism (fingerprint + field level),
+// replay_many ≡ N independent replays, the CELLO_DISABLE_REPLAY escape hatch,
+// and the scalar replay engine (CELLO_DISABLE_AVX512) against the SIMD one.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/access_stream.hpp"
+#include "sim/policies/cache_policy.hpp"
+#include "sim/policies/schedule_policy.hpp"
+#include "sim/registry.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "sparse/datasets.hpp"
+#include "workloads/cg.hpp"
+#include "workloads/gnn.hpp"
+#include "workloads/resnet.hpp"
+
+namespace {
+
+using namespace cello;
+using namespace cello::sim;
+
+/// Scoped setenv: restores (unsets) on destruction so a failing EXPECT can't
+/// leak the toggle into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) { setenv(name, value, 1); }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+void expect_metrics_equal(const RunMetrics& a, const RunMetrics& b, const std::string& what) {
+  EXPECT_EQ(a.seconds, b.seconds) << what;
+  EXPECT_EQ(a.total_macs, b.total_macs) << what;
+  EXPECT_EQ(a.dram_read_bytes, b.dram_read_bytes) << what;
+  EXPECT_EQ(a.dram_write_bytes, b.dram_write_bytes) << what;
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes) << what;
+  EXPECT_EQ(a.sram_line_accesses, b.sram_line_accesses) << what;
+  EXPECT_EQ(a.onchip_energy_pj, b.onchip_energy_pj) << what;
+  EXPECT_EQ(a.offchip_energy_pj, b.offchip_energy_pj) << what;
+  EXPECT_EQ(a.traffic_by_tensor, b.traffic_by_tensor) << what;
+  ASSERT_EQ(a.per_op.size(), b.per_op.size()) << what;
+  for (size_t i = 0; i < a.per_op.size(); ++i) {
+    EXPECT_EQ(a.per_op[i].op, b.per_op[i].op) << what << " op " << i;
+    EXPECT_EQ(a.per_op[i].macs, b.per_op[i].macs) << what << " op " << i;
+    EXPECT_EQ(a.per_op[i].dram_bytes, b.per_op[i].dram_bytes) << what << " op " << i;
+  }
+}
+
+/// The metrics-golden workload set: synthetic CG (periodic — exercises the
+/// period detector and fast-forward), GNN and ResNet (linear streams), and CG
+/// over a real sparse matrix (CSR gather capture).
+std::vector<SweepWorkload> golden_workloads(const sparse::CsrMatrix& fv1) {
+  std::vector<SweepWorkload> wls;
+  wls.push_back({"cg", workloads::build_cg_dag({81920, 16, 327680, 5, 4}), nullptr});
+  wls.push_back({"gnn", workloads::build_gnn_dag({2708, 9464, 1433, 7}), nullptr});
+  wls.push_back({"resnet", workloads::build_resnet_block_dag({}), nullptr});
+  wls.push_back(
+      {"cg_fv1",
+       workloads::build_cg_dag({sparse::dataset_by_name("fv1").rows, 16, fv1.nnz(), 3, 4}),
+       &fv1});
+  return wls;
+}
+
+// Sweep-level bit-identity: the full golden grid — every golden workload x
+// all seven Table IV presets + Flex+KV — run with stream replay vs run with
+// the escape hatch (which suppresses capture entirely, so every cell takes
+// the direct service_op path).
+TEST(AccessStream, SweepReplayBitIdenticalOnGoldens) {
+  const sparse::CsrMatrix fv1 = sparse::instantiate(sparse::dataset_by_name("fv1"));
+  const auto wls = golden_workloads(fv1);
+  std::vector<std::string> configs = ConfigRegistry::table4_names();
+  configs.push_back("Flex+KV");
+  const AcceleratorConfig arch;
+  const SweepRunner runner(2);
+
+  const auto fast = runner.run(wls, configs, arch);
+  std::vector<SweepResult> slow;
+  {
+    ScopedEnv off("CELLO_DISABLE_REPLAY", "1");
+    slow = runner.run(wls, configs, arch);
+  }
+
+  ASSERT_EQ(fast.size(), slow.size());
+  ASSERT_EQ(fast.size(), wls.size() * configs.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_TRUE(fast[i].ok()) << fast[i].error;
+    ASSERT_TRUE(slow[i].ok()) << slow[i].error;
+    expect_metrics_equal(fast[i].metrics, slow[i].metrics,
+                         fast[i].workload + "/" + fast[i].config);
+  }
+}
+
+// Simulator-level identity on the real-matrix golden: capture a stream, run
+// with it attached vs without, for both cache presets and both replay
+// engines (AVX-512 and scalar), plus the per-run escape hatch.
+TEST(AccessStream, DirectRunReplayMatchesServiceOp) {
+  const sparse::CsrMatrix fv1 = sparse::instantiate(sparse::dataset_by_name("fv1"));
+  const ir::TensorDag dag =
+      workloads::build_cg_dag({sparse::dataset_by_name("fv1").rows, 16, fv1.nnz(), 5, 4});
+  const AcceleratorConfig arch;
+  const Simulator simulator(arch, &fv1);
+
+  for (const char* cname : {"Flex+LRU", "Flex+BRRIP"}) {
+    const auto& config = ConfigRegistry::global().at(cname);
+    const score::Schedule sched = simulator.make_schedule(dag, config);
+    const AddressMap map = AddressMap::build(dag);
+    const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
+    const AccessStream stream = AccessStream::capture(dag, sched, map, &fv1, arch, router);
+    EXPECT_TRUE(stream.compatible(arch));
+    EXPECT_EQ(stream.schedule_steps, sched.steps.size());
+
+    RunArtifacts direct_art;
+    direct_art.schedule = &sched;
+    direct_art.address_map = &map;
+    const RunMetrics direct = simulator.run(dag, config, direct_art);
+
+    RunArtifacts replay_art = direct_art;
+    replay_art.access_stream = &stream;
+    const RunMetrics replayed = simulator.run(dag, config, replay_art);
+    expect_metrics_equal(direct, replayed, std::string(cname) + " simd replay");
+
+    {
+      ScopedEnv scalar("CELLO_DISABLE_AVX512", "1");
+      const RunMetrics scalar_replayed = simulator.run(dag, config, replay_art);
+      expect_metrics_equal(direct, scalar_replayed, std::string(cname) + " scalar replay");
+    }
+    {
+      ScopedEnv off("CELLO_DISABLE_REPLAY", "1");
+      const RunMetrics escaped = simulator.run(dag, config, replay_art);
+      expect_metrics_equal(direct, escaped, std::string(cname) + " escape hatch");
+    }
+  }
+}
+
+// Two captures of the same slot must be identical — fingerprint and every
+// header/array field — and the synthetic-CG stream must actually be periodic
+// (otherwise the fast-forward path is silently untested).
+TEST(AccessStream, CaptureIsDeterministic) {
+  const ir::TensorDag dag = workloads::build_cg_dag({81920, 16, 327680, 5, 4});
+  const AcceleratorConfig arch;
+  const Simulator simulator(arch);
+  const auto& config = ConfigRegistry::global().at("Flex+LRU");
+  const score::Schedule sched = simulator.make_schedule(dag, config);
+  const AddressMap map = AddressMap::build(dag);
+  const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
+
+  const AccessStream a = AccessStream::capture(dag, sched, map, nullptr, arch, router);
+  const AccessStream b = AccessStream::capture(dag, sched, map, nullptr, arch, router);
+
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.line_bytes, b.line_bytes);
+  EXPECT_EQ(a.rf_bytes, b.rf_bytes);
+  EXPECT_EQ(a.schedule_steps, b.schedule_steps);
+  EXPECT_EQ(a.prefix_steps, b.prefix_steps);
+  EXPECT_EQ(a.period_steps, b.period_steps);
+  EXPECT_EQ(a.period_count, b.period_count);
+  EXPECT_EQ(a.suffix_steps, b.suffix_steps);
+  EXPECT_EQ(a.addr, b.addr);
+  EXPECT_EQ(a.len, b.len);
+  EXPECT_EQ(a.write, b.write);
+  EXPECT_EQ(a.op_end, b.op_end);
+  EXPECT_EQ(a.min_addr, b.min_addr);
+  EXPECT_EQ(a.max_addr, b.max_addr);
+  EXPECT_EQ(a.total_lines, b.total_lines);
+
+  EXPECT_GT(a.period_steps, 0u) << "iterative CG should capture as periodic";
+  EXPECT_GE(a.period_count, 2u);
+  EXPECT_EQ(a.materialized_steps() + a.period_steps * (a.period_count - 1),
+            a.schedule_steps);
+}
+
+// replay_many must equal N independent replay() calls — same per-step
+// services, same final cache state — across mixed policies and geometries.
+TEST(AccessStream, ReplayManyMatchesIndependentReplays) {
+  const ir::TensorDag dag = workloads::build_cg_dag({81920, 16, 327680, 5, 4});
+  const AcceleratorConfig base;
+  const Simulator simulator(base);
+  const auto& config = ConfigRegistry::global().at("Flex+LRU");
+  const score::Schedule sched = simulator.make_schedule(dag, config);
+  const AddressMap map = AddressMap::build(dag);
+  const Router router(dag, sched, config.schedule, config.allow_delayed_hold, base);
+  const AccessStream stream = AccessStream::capture(dag, sched, map, nullptr, base, router);
+
+  // LRU / BRRIP across two SRAM budgets: four distinct cache geometries.
+  struct Geometry {
+    cache::Policy policy;
+    Bytes sram;
+  };
+  const std::vector<Geometry> geoms = {{cache::Policy::Lru, 1ull << 20},
+                                       {cache::Policy::Lru, 4ull << 20},
+                                       {cache::Policy::Brrip, 1ull << 20},
+                                       {cache::Policy::Brrip, 4ull << 20}};
+
+  std::vector<std::unique_ptr<CachePolicy>> batch, solo;
+  std::vector<CachePolicy*> batch_ptrs;
+  for (const auto& g : geoms) {
+    AcceleratorConfig arch = base;
+    arch.sram_bytes = g.sram;
+    batch.push_back(std::make_unique<CachePolicy>(arch, g.policy));
+    solo.push_back(std::make_unique<CachePolicy>(arch, g.policy));
+    batch_ptrs.push_back(batch.back().get());
+  }
+
+  std::vector<std::vector<BufferService>> batch_services;
+  ASSERT_TRUE(CachePolicy::replay_many(stream, batch_ptrs, batch_services));
+  ASSERT_EQ(batch_services.size(), geoms.size());
+
+  for (size_t p = 0; p < geoms.size(); ++p) {
+    std::vector<BufferService> services;
+    ASSERT_TRUE(solo[p]->replay(stream, services));
+    ASSERT_EQ(batch_services[p].size(), services.size()) << "policy " << p;
+    for (size_t s = 0; s < services.size(); ++s) {
+      EXPECT_EQ(batch_services[p][s].dram_read, services[s].dram_read)
+          << "policy " << p << " step " << s;
+      EXPECT_EQ(batch_services[p][s].dram_write, services[s].dram_write)
+          << "policy " << p << " step " << s;
+    }
+    EXPECT_EQ(batch[p]->cache().valid_lines(), solo[p]->cache().valid_lines())
+        << "policy " << p;
+    EXPECT_EQ(batch[p]->occupancy_bytes(), solo[p]->occupancy_bytes()) << "policy " << p;
+  }
+}
+
+// A geometry-incompatible stream must be refused (caller falls back to
+// service_op), and a dirty policy must be refused until reset.
+TEST(AccessStream, ReplayRefusesIncompatibleOrDirtyState) {
+  const ir::TensorDag dag = workloads::build_cg_dag({81920, 16, 327680, 3, 4});
+  const AcceleratorConfig arch;
+  const Simulator simulator(arch);
+  const auto& config = ConfigRegistry::global().at("Flex+LRU");
+  const score::Schedule sched = simulator.make_schedule(dag, config);
+  const AddressMap map = AddressMap::build(dag);
+  const Router router(dag, sched, config.schedule, config.allow_delayed_hold, arch);
+  const AccessStream stream = AccessStream::capture(dag, sched, map, nullptr, arch, router);
+
+  AcceleratorConfig other = arch;
+  other.line_bytes = arch.line_bytes * 2;
+  CachePolicy mismatched(other, cache::Policy::Lru);
+  std::vector<BufferService> services;
+  EXPECT_FALSE(mismatched.replay(stream, services));
+  EXPECT_TRUE(services.empty());
+
+  CachePolicy dirty(arch, cache::Policy::Lru);
+  ASSERT_TRUE(dirty.replay(stream, services));
+  std::vector<BufferService> again;
+  EXPECT_FALSE(dirty.replay(stream, again)) << "second replay without reset must refuse";
+  dirty.reset();
+  EXPECT_TRUE(dirty.replay(stream, again)) << "reset policy replays again";
+  ASSERT_EQ(services.size(), again.size());
+  for (size_t s = 0; s < services.size(); ++s) {
+    EXPECT_EQ(services[s].dram_read, again[s].dram_read) << "step " << s;
+    EXPECT_EQ(services[s].dram_write, again[s].dram_write) << "step " << s;
+  }
+}
+
+}  // namespace
